@@ -1,0 +1,92 @@
+// Command cobra-npb regenerates the paper's NPB experiments: Table 1
+// (static counts) and Figures 5-7 (speedup, L3 misses and bus transactions
+// under the COBRA noprefetch and prefetch.excl optimizations, on the 4-way
+// SMP and the Altix cc-NUMA models).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/npb"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cobra-npb: ")
+	var (
+		table   = flag.Int("table", 0, "regenerate a table (1)")
+		figure  = flag.String("figure", "", "regenerate figures: 5a,5b,6a,6b,7a,7b, or 'all'")
+		classS  = flag.Bool("class-s", true, "class-S-scaled problem sizes (false = tiny)")
+		benches = flag.String("benches", "", "comma-separated benchmark subset (default: the paper's six)")
+	)
+	flag.Parse()
+
+	class := npb.ClassT
+	if *classS {
+		class = npb.ClassS
+	}
+
+	if *table == 1 {
+		rows, err := experiment.Table1(class)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.Table1(os.Stdout, rows)
+		return
+	}
+
+	if *figure == "" {
+		fmt.Fprintln(os.Stderr, "usage: cobra-npb -table 1 | -figure 5a|5b|6a|6b|7a|7b|all [-benches bt,sp,...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+
+	want := map[string]bool{}
+	if *figure == "all" {
+		for _, f := range []string{"5a", "5b", "6a", "6b", "7a", "7b"} {
+			want[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figure, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	// One sweep per machine serves all its figures.
+	machines := map[byte]experiment.MachineKind{'a': experiment.SMP4, 'b': experiment.Altix8}
+	for _, panel := range []byte{'a', 'b'} {
+		needed := want["5"+string(panel)] || want["6"+string(panel)] || want["7"+string(panel)]
+		if !needed {
+			continue
+		}
+		res, err := experiment.RunNPB(machines[panel], class, names)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if want["5"+string(panel)] {
+			report.Figure5(os.Stdout, panel, res)
+			fmt.Println()
+		}
+		if want["6"+string(panel)] {
+			report.Figure6(os.Stdout, panel, res)
+			fmt.Println()
+		}
+		if want["7"+string(panel)] {
+			report.Figure7(os.Stdout, panel, res)
+			fmt.Println()
+		}
+		report.CobraActivity(os.Stdout, res)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,119 @@
+// Command cobra-run executes any workload of the suite on either machine
+// model, optionally under a COBRA strategy, and prints the measured
+// execution time, memory-system counters and COBRA activity — the generic
+// entry point for exploring the framework.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cobra"
+	"repro/internal/npb"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cobra-run: ")
+	var (
+		name     = flag.String("workload", "daxpy", "daxpy, bt, sp, lu, ft, mg, cg, ep, is")
+		threads  = flag.Int("threads", 4, "worker threads (= CPUs)")
+		machine  = flag.String("machine", "smp", "smp (front-side bus) or numa (Altix-like)")
+		strategy = flag.String("strategy", "off", "off, monitor, noprefetch, excl, adaptive, bias")
+		classS   = flag.Bool("class-s", true, "class-S-scaled sizes (false = tiny)")
+		ws       = flag.Int64("daxpy-ws", 128<<10, "DAXPY working set bytes")
+		reps     = flag.Int("daxpy-reps", 100, "DAXPY outer repetitions")
+		patches  = flag.Bool("show-patches", false, "list the binary patches COBRA deployed")
+	)
+	flag.Parse()
+
+	var w *workload.Workload
+	var err error
+	if *name == "daxpy" {
+		w = workload.Daxpy(workload.DaxpyParams{WorkingSetBytes: *ws, OuterReps: *reps})
+	} else {
+		class := npb.ClassT
+		if *classS {
+			class = npb.ClassS
+		}
+		w, err = npb.Build(*name, npb.Params{Class: class})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var bc workload.BuildConfig
+	switch *machine {
+	case "smp":
+		bc = workload.SMPConfig(*threads)
+	case "numa":
+		bc = workload.NUMAConfig(*threads)
+	default:
+		log.Fatalf("unknown machine %q", *machine)
+	}
+
+	switch *strategy {
+	case "off":
+	case "monitor":
+		c := cobra.DefaultConfig(cobra.StrategyOff)
+		bc.Cobra = &c
+	case "noprefetch":
+		c := cobra.DefaultConfig(cobra.StrategyNoprefetch)
+		bc.Cobra = &c
+	case "excl":
+		c := cobra.DefaultConfig(cobra.StrategyExcl)
+		bc.Cobra = &c
+	case "adaptive":
+		c := cobra.DefaultConfig(cobra.StrategyAdaptive)
+		bc.Cobra = &c
+	case "bias":
+		c := cobra.DefaultConfig(cobra.StrategyBias)
+		bc.Cobra = &c
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+
+	inst, err := workload.Build(w, bc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := inst.Measure()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload   %s (%d threads, %s, strategy=%s)\n", m.Name, m.Threads, *machine, *strategy)
+	fmt.Printf("cycles     %d\n", m.Cycles)
+	st := m.Mem
+	fmt.Printf("memory     loads=%d stores=%d prefetches=%d (dropped %d)\n",
+		st.Loads, st.Stores, st.Prefetches, st.PrefetchesDropped)
+	fmt.Printf("caches     L2miss=%d L3miss=%d writebacks=%d\n", st.L2Misses, st.L3Misses, st.Writebacks)
+	fmt.Printf("bus        transactions=%d rdHit=%d rdHitm=%d rdInvalHitm=%d upgrades=%d\n",
+		st.BusMemory, st.BusRdHit, st.BusRdHitm, st.BusRdInvalAllHitm, st.BusUpgrades)
+	fmt.Printf("coherence  ratio=%.4f demand-avg-latency=%.1f\n",
+		st.CoherentRatio(), float64(st.DemandLatencyTotal)/float64(max64(st.DemandAccesses, 1)))
+	if bc.Cobra != nil {
+		cs := m.Cobra
+		fmt.Printf("cobra      samples=%d passes=%d triggers=%d patches=%d rollbacks=%d nopped=%d excl=%d biased=%d traces=%d\n",
+			cs.SamplesSeen, cs.OptimizerPasses, cs.Triggers, cs.PatchesApplied,
+			cs.PatchesRolledBack, cs.PrefetchesNopped, cs.PrefetchesExcl, cs.LoadsBiased, cs.TracesEmitted)
+		if *patches {
+			for _, p := range inst.Cobra.ActivePatches() {
+				fmt.Printf("  patch: region [%d,%d] in %s: %d prefetches -> %s (trace entry %d)\n",
+					p.Region.Start, p.Region.End, p.Region.FuncName,
+					p.RewrittenPrefetches, p.Rewrite, p.TraceEntry)
+			}
+		}
+	}
+	os.Exit(0)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+// Package cobra implements COBRA (Continuous Binary Re-Adaptation), the
+// paper's runtime binary optimization framework for multithreaded
+// applications, on top of the simulated Itanium 2 machine:
+//
+//   - one monitoring thread per working thread copies perfmon samples
+//     (counters, BTB, DEAR) into a per-thread User Sampling Buffer;
+//   - a single optimization thread periodically aggregates the per-thread
+//     profiles into a system-wide view, detects intensive coherent memory
+//     traffic from the BUS_* events, pinpoints the delinquent loads with
+//     two-level DEAR latency filtering (§4), rediscovers the loops
+//     containing them from BTB branch pairs, and locates the lfetch
+//     instructions inside those loops by walking the binary;
+//   - the optimizer rewrites the selected prefetches — to NOPs
+//     (noprefetch) or to lfetch.excl (exclusive-hint prefetch) — either by
+//     patching the binary in place or by emitting an optimized trace into
+//     a code cache and redirecting the original entry to it;
+//   - in adaptive mode the controller keeps watching the patched loops and
+//     rolls a patch back when the observed memory behaviour regresses,
+//     re-adapting as program phases change.
+package cobra
+
+import "repro/internal/perfmon"
+
+// Strategy selects the optimization the runtime applies when it detects
+// coherent-miss pressure.
+type Strategy uint8
+
+const (
+	// StrategyOff monitors only (profiling overhead, no patches).
+	StrategyOff Strategy = iota
+	// StrategyNoprefetch rewrites selected prefetches to NOPs, removing
+	// the unnecessary coherent misses aggressive prefetching causes.
+	StrategyNoprefetch
+	// StrategyExcl rewrites selected prefetches to lfetch.excl so lines
+	// that will be written arrive in Exclusive state.
+	StrategyExcl
+	// StrategyAdaptive lets the controller choose per loop and roll back
+	// on regression: noprefetch first, escalating to lfetch.excl if
+	// noprefetch regresses.
+	StrategyAdaptive
+	// StrategyBias rewrites delinquent integer loads themselves to
+	// ld8.bias, acquiring the line exclusively when a store follows — the
+	// §4 optimization the paper describes but leaves unimplemented
+	// because of the hint's narrow applicability (an extension here).
+	StrategyBias
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyOff:
+		return "off"
+	case StrategyNoprefetch:
+		return "noprefetch"
+	case StrategyExcl:
+		return "prefetch.excl"
+	case StrategyAdaptive:
+		return "adaptive"
+	case StrategyBias:
+		return "ld.bias"
+	}
+	return "?"
+}
+
+// Config tunes the runtime.
+type Config struct {
+	Strategy Strategy
+
+	// Sampling configures the perfmon driver (period, DEAR filter,
+	// per-sample overhead).
+	Sampling perfmon.Config
+
+	// OptimizeInterval is the simulated-cycle period of the optimization
+	// thread's aggregation/decision pass.
+	OptimizeInterval int64
+
+	// CoherentShareThreshold gates optimization: coherent snoop events
+	// must be a significant share of all cache misses, so prefetches
+	// hiding plain capacity misses are left alone (§5.2.1's filtering
+	// heuristic).
+	CoherentShareThreshold float64
+
+	// MinCoherentEvents is the absolute number of dirty-snoop events a
+	// window must contain before the trigger may fire, so a handful of
+	// events in an otherwise quiet window (a barrier, a phase boundary)
+	// cannot masquerade as high coherent pressure.
+	MinCoherentEvents int64
+
+	// CoherentLatency is the second-level DEAR filter (§4): loads slower
+	// than this are classified coherent misses (ordinary memory loads on
+	// the SMP run 120–150 cycles; coherent misses 180–200+).
+	CoherentLatency int64
+
+	// MinLoopSamples is the number of BTB observations required before a
+	// backward branch is accepted as a hot loop.
+	MinLoopSamples int64
+
+	// MinDelinquentSamples is the number of DEAR captures required before
+	// a load is considered delinquent.
+	MinDelinquentSamples int64
+
+	// UseTraceCache deploys optimizations as redirected traces in a code
+	// cache (the paper's design); false patches prefetches in place.
+	UseTraceCache bool
+
+	// RollbackTolerance: a patch is rolled back when IPC over the
+	// patched loop's active windows falls more than this fraction below
+	// the pre-patch baseline.
+	RollbackTolerance float64
+
+	// EvaluateWindows (adaptive): optimizer passes to wait before judging
+	// a patch.
+	EvaluateWindows int
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig(strategy Strategy) Config {
+	return Config{
+		Strategy:               strategy,
+		Sampling:               perfmon.DefaultConfig(),
+		OptimizeInterval:       50_000,
+		CoherentShareThreshold: 0.15,
+		MinCoherentEvents:      24,
+		CoherentLatency:        180,
+		MinLoopSamples:         4,
+		MinDelinquentSamples:   2,
+		UseTraceCache:          true,
+		RollbackTolerance:      0.03,
+		EvaluateWindows:        2,
+	}
+}

@@ -1,0 +1,210 @@
+package cobra
+
+import (
+	"fmt"
+
+	"repro/internal/ia64"
+)
+
+// Rewrite is the kind of prefetch rewrite the optimizer applies.
+type Rewrite uint8
+
+const (
+	RewriteNop  Rewrite = iota // noprefetch: lfetch -> nop
+	RewriteExcl                // lfetch -> lfetch.excl
+	RewriteBias                // ld8 -> ld8.bias (§4's exclusive-load hint)
+)
+
+func (r Rewrite) String() string {
+	switch r {
+	case RewriteNop:
+		return "nop"
+	case RewriteExcl:
+		return "excl"
+	case RewriteBias:
+		return "bias"
+	}
+	return "?"
+}
+
+// applicable reports whether the rewrite can act on the instruction. The
+// prefetch rewrites act on lfetch sites; the bias rewrite acts on plain
+// integer loads (the paper: .bias is unsupported on speculative, check,
+// acquire and floating-point loads, so ordinary ld8 is the entire domain).
+func (r Rewrite) applicable(in ia64.Instr) bool {
+	switch r {
+	case RewriteNop, RewriteExcl:
+		return in.Op == ia64.OpLfetch
+	case RewriteBias:
+		return in.Op == ia64.OpLd && in.Hint == ia64.HintNone
+	}
+	return false
+}
+
+// apply transforms an applicable instruction.
+func (r Rewrite) apply(in ia64.Instr) ia64.Instr {
+	switch r {
+	case RewriteNop:
+		return ia64.Instr{Op: ia64.OpNop, QP: in.QP}
+	case RewriteExcl:
+		in.Hint = ia64.HintExcl
+		return in
+	case RewriteBias:
+		in.Hint = ia64.HintBias
+		return in
+	}
+	return in
+}
+
+// Patch records one deployed optimization so it can be rolled back.
+type Patch struct {
+	Region  Region
+	Rewrite Rewrite
+	// Slots actually rewritten (in-place mode: the lfetch slots; trace
+	// mode: the redirected entry slot).
+	Slots []int
+	// saved holds the original instructions of Slots.
+	saved []ia64.Instr
+	// TraceEntry is the code-cache entry when deployed as a trace.
+	TraceEntry int
+	// ActiveKey is the loop key the patched loop reports through the BTB
+	// after deployment: the original key for in-place patches, the
+	// trace-relative key after a trace redirection. The controller uses it
+	// to evaluate the patch only in windows where the loop actually ran.
+	ActiveKey LoopKey
+	// RewrittenPrefetches counts lfetch sites changed.
+	RewrittenPrefetches int
+}
+
+// Patcher deploys and rolls back binary optimizations. In trace mode it
+// copies the region into a code cache appended to the image, rewrites the
+// prefetches in the copy, relocates intra-region branch targets, and
+// redirects the original region entry with a single branch — the paper's
+// "optimized binary traces are stored in a trace cache in the same address
+// space ... the binary program is then patched and redirected to the
+// optimized traces". In-place mode rewrites the lfetch words directly.
+type Patcher struct {
+	img      *ia64.Image
+	useTrace bool
+	nTraces  int
+	// cacheStart is the first slot of the code cache: everything appended
+	// by this patcher lives at or beyond it. The optimizer must never
+	// treat its own traces as optimization candidates.
+	cacheStart int
+}
+
+// NewPatcher builds a patcher over the running image.
+func NewPatcher(img *ia64.Image, useTrace bool) *Patcher {
+	return &Patcher{img: img, useTrace: useTrace, cacheStart: img.Len()}
+}
+
+// InCodeCache reports whether pc lies in patcher-emitted code.
+func (p *Patcher) InCodeCache(pc int) bool { return pc >= p.cacheStart }
+
+// Deploy applies rewrite to the given lfetch slots of region r.
+func (p *Patcher) Deploy(r Region, lfetchSlots []int, rw Rewrite) (*Patch, error) {
+	if len(lfetchSlots) == 0 {
+		return nil, fmt.Errorf("cobra: nothing to rewrite in region [%d,%d]", r.Start, r.End)
+	}
+	if p.useTrace {
+		return p.deployTrace(r, lfetchSlots, rw)
+	}
+	return p.deployInPlace(r, lfetchSlots, rw)
+}
+
+func (p *Patcher) deployInPlace(r Region, slots []int, rw Rewrite) (*Patch, error) {
+	patch := &Patch{Region: r, Rewrite: rw}
+	for _, pc := range slots {
+		in := p.img.Fetch(pc)
+		if !rw.applicable(in) {
+			continue // already rewritten by an earlier pass
+		}
+		old, err := p.img.Patch(pc, rw.apply(in))
+		if err != nil {
+			p.rollbackSlots(patch)
+			return nil, err
+		}
+		patch.Slots = append(patch.Slots, pc)
+		patch.saved = append(patch.saved, old)
+		patch.RewrittenPrefetches++
+	}
+	if patch.RewrittenPrefetches == 0 {
+		return nil, fmt.Errorf("cobra: no applicable instruction among %d slots", len(slots))
+	}
+	patch.TraceEntry = -1
+	patch.ActiveKey = r.Key
+	return patch, nil
+}
+
+// deployTrace emits the optimized copy of [r.Start, r.End] into the code
+// cache and redirects r.Start to it.
+func (p *Patcher) deployTrace(r Region, slots []int, rw Rewrite) (*Patch, error) {
+	rewriteAt := map[int]bool{}
+	for _, pc := range slots {
+		rewriteAt[pc] = true
+	}
+	n := r.End - r.Start + 1
+	trace := make([]ia64.Instr, 0, n+1)
+	rewritten := 0
+	for pc := r.Start; pc <= r.End; pc++ {
+		in := p.img.Fetch(pc)
+		if rewriteAt[pc] && rw.applicable(in) {
+			in = rw.apply(in)
+			rewritten++
+		}
+		trace = append(trace, in)
+	}
+	if rewritten == 0 {
+		return nil, fmt.Errorf("cobra: no applicable instruction among %d slots", len(slots))
+	}
+
+	p.nTraces++
+	name := fmt.Sprintf("cobra.trace%d", p.nTraces)
+	entry := p.img.Len()
+	// Relocate intra-region branch targets to the trace copy; targets
+	// outside the region (the guard's skip label, etc.) stay absolute.
+	for i := range trace {
+		in := &trace[i]
+		if in.IsBranch() && int(in.Imm) >= r.Start && int(in.Imm) <= r.End {
+			in.Imm = in.Imm - int64(r.Start) + int64(entry)
+		}
+	}
+	// Fall-through continues after the original region.
+	trace = append(trace, ia64.Instr{Op: ia64.OpBr, Br: ia64.BrAlways, Imm: int64(r.End + 1)})
+	p.img.Append(trace...)
+	p.img.AddFunc(name, entry, entry+len(trace))
+
+	// Redirect: one-word patch at the region entry.
+	old, err := p.img.Patch(r.Start, ia64.Instr{Op: ia64.OpBr, Br: ia64.BrAlways, Imm: int64(entry)})
+	if err != nil {
+		return nil, err
+	}
+	return &Patch{
+		Region: r, Rewrite: rw,
+		Slots: []int{r.Start}, saved: []ia64.Instr{old},
+		TraceEntry: entry,
+		ActiveKey: LoopKey{
+			Head:     r.Key.Head - r.Start + entry,
+			BranchPC: r.Key.BranchPC - r.Start + entry,
+		},
+		RewrittenPrefetches: rewritten,
+	}, nil
+}
+
+// Rollback restores the original instructions of a deployed patch. Trace
+// copies remain in the code cache (unreachable), as on a real system.
+func (p *Patcher) Rollback(patch *Patch) error {
+	return p.rollbackSlots(patch)
+}
+
+func (p *Patcher) rollbackSlots(patch *Patch) error {
+	var firstErr error
+	for i := len(patch.Slots) - 1; i >= 0; i-- {
+		if _, err := p.img.Patch(patch.Slots[i], patch.saved[i]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	patch.Slots = nil
+	patch.saved = nil
+	return firstErr
+}

@@ -1,0 +1,477 @@
+package cobra
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/perfmon"
+)
+
+// Stats summarizes the runtime's activity for reports and tests.
+type Stats struct {
+	SamplesSeen       int64
+	OptimizerPasses   int64
+	Triggers          int64
+	PatchesApplied    int64
+	PatchesRolledBack int64
+	PrefetchesNopped  int64
+	PrefetchesExcl    int64
+	LoadsBiased       int64
+	TracesEmitted     int64
+}
+
+// regionState tracks one optimized (or previously optimized) loop for the
+// adaptive controller.
+type regionState struct {
+	patch    *Patch
+	rewrite  Rewrite
+	baseline float64 // pre-patch IPC (loop-active windows)
+	// activeWindows counts post-patch windows in which the patched loop
+	// actually executed; activeAgg accumulates their profile. Judging only
+	// loop-active windows keeps the before/after comparison phase-fair in
+	// programs that alternate kernels. globalAgg accumulates every
+	// post-patch window, catching patches that speed up their own loop
+	// while slowing a downstream phase (e.g. removed prefetches that had
+	// been warming the next kernel's data).
+	activeWindows int
+	activeAgg     Window
+	globalAgg     Window
+	globalBase    float64 // pre-patch whole-program IPC
+	// preIPC is an exponential moving average of whole-window IPC over
+	// the windows in which this loop ran, maintained while the loop is
+	// unpatched. It is the unbiased baseline a deployed patch is judged
+	// against — the trigger windows themselves are the program's worst
+	// moments and would flatter any patch.
+	preIPC    float64
+	judged    bool // at least one post-deployment judgement happened
+	triedNop  bool
+	triedExcl bool
+	blocked   bool // regressed under a fixed strategy: never re-patch
+	cooldown  int
+}
+
+// Runtime is one COBRA instance attached to a running machine: the
+// optimization thread (a simulated-time timer), the per-working-thread
+// monitoring threads (perfmon handlers feeding USBs), and the optimizer
+// state.
+type Runtime struct {
+	cfg      Config
+	m        *machine.Machine
+	driver   *perfmon.Driver
+	usbs     []*USB
+	prof     *Profiler
+	analyzer *Analyzer
+	patcher  *Patcher
+
+	regions   map[LoopKey]*regionState
+	horizon   []Window
+	globalEMA float64 // smoothed whole-program IPC
+	stats     Stats
+}
+
+// emaAlpha is the smoothing factor of the pre-patch IPC baselines.
+const emaAlpha = 0.3
+
+// triggerHorizon is the number of optimizer windows aggregated for the
+// trigger decision.
+const triggerHorizon = 3
+
+// New attaches COBRA to a machine. The instance starts monitoring as
+// working threads fork (call MonitorThread from the OpenMP runtime's
+// OnFork hook) and optimizes on its own simulated-time schedule.
+func New(m *machine.Machine, cfg Config) *Runtime {
+	if cfg.OptimizeInterval <= 0 {
+		cfg.OptimizeInterval = DefaultConfig(cfg.Strategy).OptimizeInterval
+	}
+	r := &Runtime{
+		cfg:      cfg,
+		m:        m,
+		driver:   perfmon.NewDriver(cfg.Sampling, m),
+		usbs:     make([]*USB, m.NumCPUs()),
+		prof:     NewProfiler(cfg.CoherentLatency),
+		analyzer: NewAnalyzer(m.Image(), m.Memory()),
+		patcher:  NewPatcher(m.Image(), cfg.UseTraceCache),
+		regions:  map[LoopKey]*regionState{},
+	}
+	m.AddTimer(&machine.Timer{
+		NextAt: cfg.OptimizeInterval,
+		Fn: func(now int64) int64 {
+			r.optimizePass(now)
+			return now + r.cfg.OptimizeInterval
+		},
+	})
+	return r
+}
+
+// Driver exposes the sampling driver (for tests and tools).
+func (r *Runtime) Driver() *perfmon.Driver { return r.driver }
+
+// Stats returns a snapshot of the runtime's activity counters.
+func (r *Runtime) Stats() Stats { return r.stats }
+
+// ActivePatches returns the currently deployed patches.
+func (r *Runtime) ActivePatches() []*Patch {
+	var out []*Patch
+	for _, st := range r.regions {
+		if st.patch != nil && len(st.patch.Slots) > 0 {
+			out = append(out, st.patch)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Region.Start < out[j].Region.Start })
+	return out
+}
+
+// MonitorThread creates the monitoring thread for a working thread: a USB
+// plus a perfmon handler copying samples into it. Wire it to
+// openmp.Runtime.OnFork — "a monitoring thread is created when a working
+// thread is forked" (§3).
+func (r *Runtime) MonitorThread(tid, cpu int) {
+	if r.usbs[cpu] != nil {
+		return
+	}
+	u := &USB{CPU: cpu}
+	r.usbs[cpu] = u
+	r.driver.Attach(cpu, u.Push)
+}
+
+// optimizePass is the optimization thread's periodic body: drain USBs,
+// aggregate the system-wide profile, evaluate outstanding patches, and
+// deploy new optimizations when coherent pressure warrants.
+func (r *Runtime) optimizePass(now int64) {
+	r.stats.OptimizerPasses++
+
+	for _, u := range r.usbs {
+		if u == nil {
+			continue
+		}
+		for _, s := range u.Drain() {
+			r.prof.Add(s)
+			r.stats.SamplesSeen++
+		}
+	}
+	win := r.prof.Window()
+
+	// Both the trigger and patch evaluation are judged over a rolling
+	// horizon of windows rather than a single window: coherent misses
+	// cluster at phase boundaries (barriers, chunk edges), and a cluster
+	// caught in one quiet window must not masquerade as sustained
+	// coherent pressure — nor hide a sustained regression.
+	r.horizon = append(r.horizon, win)
+	if len(r.horizon) > triggerHorizon {
+		r.horizon = r.horizon[1:]
+	}
+	var agg Window
+	for _, hw := range r.horizon {
+		agg.Samples += hw.Samples
+		agg.Cycles += hw.Cycles
+		agg.Instr += hw.Instr
+		agg.L2Misses += hw.L2Misses
+		agg.BusHitm += hw.BusHitm
+	}
+	// Maintain the unbiased pre-patch baselines: whole-program IPC, and
+	// per hot loop the IPC of windows it ran in.
+	if win.Cycles > 0 {
+		if r.globalEMA == 0 {
+			r.globalEMA = win.IPC()
+		} else {
+			r.globalEMA = (1-emaAlpha)*r.globalEMA + emaAlpha*win.IPC()
+		}
+	}
+	for _, ls := range r.prof.HotLoops(r.cfg.MinLoopSamples) {
+		st := r.regions[ls.Key]
+		if st == nil {
+			st = &regionState{}
+			r.regions[ls.Key] = st
+		}
+		if st.patch == nil && win.Cycles > 0 {
+			if st.preIPC == 0 {
+				st.preIPC = win.IPC()
+			} else {
+				st.preIPC = (1-emaAlpha)*st.preIPC + emaAlpha*win.IPC()
+			}
+		}
+	}
+
+	// Continuous re-adaptation: every outstanding patch is periodically
+	// re-judged against its pre-patch baseline metric and rolled back on
+	// regression, whichever strategy deployed it. Only windows in which
+	// the patched loop actually ran count towards the judgement. Fixed
+	// strategies blacklist a rolled-back region; adaptive mode escalates
+	// to the other rewrite.
+	r.evaluatePatches(win)
+	for _, st := range r.regions {
+		if st.cooldown > 0 {
+			st.cooldown--
+		}
+	}
+
+	if len(r.horizon) == triggerHorizon &&
+		agg.Samples > 0 &&
+		agg.BusHitm >= r.cfg.MinCoherentEvents &&
+		agg.CoherentShare() >= r.cfg.CoherentShareThreshold {
+		r.stats.Triggers++
+		if r.cfg.Strategy != StrategyOff {
+			r.deployOptimizations(agg)
+		}
+	}
+	r.prof.ResetWindow()
+}
+
+func (r *Runtime) evaluatePatches(win Window) {
+	for _, st := range r.regions {
+		if st.patch == nil || len(st.patch.Slots) == 0 {
+			continue
+		}
+		st.globalAgg.Cycles += win.Cycles
+		st.globalAgg.Instr += win.Instr
+		if r.prof.LoopActivity(st.patch.ActiveKey) >= r.cfg.MinLoopSamples {
+			st.activeWindows++
+			st.activeAgg.Samples += win.Samples
+			st.activeAgg.Cycles += win.Cycles
+			st.activeAgg.Instr += win.Instr
+			st.activeAgg.L2Misses += win.L2Misses
+			st.activeAgg.BusHitm += win.BusHitm
+		}
+		if st.activeWindows < r.cfg.EvaluateWindows {
+			continue
+		}
+		regressed := st.activeAgg.IPC() < st.baseline*(1-r.cfg.RollbackTolerance) ||
+			st.globalAgg.IPC() < st.globalBase*(1-r.cfg.RollbackTolerance)
+		st.judged = true
+		st.activeWindows = 0 // keep judging periodically
+		st.activeAgg = Window{}
+		st.globalAgg = Window{}
+		if regressed {
+			// Regression: roll the patch back and remember what failed so
+			// re-adaptation can escalate to the other rewrite.
+			if err := r.patcher.Rollback(st.patch); err == nil {
+				r.stats.PatchesRolledBack++
+			}
+			st.patch = nil
+			st.cooldown = r.cfg.EvaluateWindows
+			if r.cfg.Strategy != StrategyAdaptive {
+				st.blocked = true // fixed strategy: leave the loop alone
+			}
+		}
+	}
+}
+
+// deployOptimizations implements §4's selection pipeline.
+func (r *Runtime) deployOptimizations(win Window) {
+	loops := r.prof.HotLoops(r.cfg.MinLoopSamples)
+	if len(loops) == 0 {
+		return
+	}
+	delinq := r.prof.DelinquentLoads(r.cfg.MinDelinquentSamples)
+
+	// Map each delinquent load to the hottest loop containing it, and
+	// remember which data segments its misses touch.
+	regionLoads := map[LoopKey][]Delinquent{}
+	for _, d := range delinq {
+		for _, ls := range loops {
+			if d.PC >= ls.Key.Head && d.PC <= ls.Key.BranchPC {
+				regionLoads[ls.Key] = append(regionLoads[ls.Key], d)
+				break // loops are sorted hottest-first
+			}
+		}
+	}
+
+	// DEAR pinpoints coherent misses on the load side; sharing induced
+	// purely by prefetch/store traffic (DAXPY's boundary pathology) shows
+	// up in the BUS_* counters but not in the DEAR. When the trigger
+	// fired yet no load could be pinpointed, fall back to the paper's
+	// loop-boundary heuristic: optimize prefetches in the hot loops
+	// themselves (binary analysis still restricts the rewrite to the
+	// right arrays).
+	if len(regionLoads) == 0 {
+		for _, ls := range loops {
+			regionLoads[ls.Key] = nil
+		}
+	}
+
+	// Stage deployment: while any patch is still awaiting its evaluation
+	// windows, hold off on new ones, and never deploy more than a couple
+	// per pass — a regressing rewrite must be caught and rolled back
+	// before it is compounded across the whole program.
+	for _, st := range r.regions {
+		if st.patch != nil && len(st.patch.Slots) > 0 && !st.judged {
+			return
+		}
+	}
+	const maxDeploysPerPass = 2
+	deployed := 0
+
+	var keys []LoopKey
+	for k := range regionLoads {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Head < keys[j].Head })
+
+	for _, k := range keys {
+		if deployed >= maxDeploysPerPass {
+			break
+		}
+		if r.patcher.InCodeCache(k.Head) || r.patcher.InCodeCache(k.BranchPC) {
+			continue // never re-optimize our own traces
+		}
+		if !r.analyzer.ValidLoop(k) {
+			continue // spurious cross-function branch pair
+		}
+		st := r.regions[k]
+		if st == nil {
+			st = &regionState{}
+			r.regions[k] = st
+		}
+		if st.patch != nil && len(st.patch.Slots) > 0 {
+			continue // already optimized
+		}
+		if st.cooldown > 0 {
+			continue
+		}
+		rw, ok := r.chooseRewrite(st)
+		if !ok {
+			continue
+		}
+		region := r.analyzer.RegionFor(k)
+		slots := r.selectPrefetches(region, regionLoads[k], rw)
+		if len(slots) == 0 {
+			continue
+		}
+		patch, err := r.patcher.Deploy(region, slots, rw)
+		if err != nil {
+			continue
+		}
+		st.patch = patch
+		st.rewrite = rw
+		st.baseline = st.preIPC
+		if st.baseline == 0 {
+			st.baseline = win.IPC()
+		}
+		st.globalBase = r.globalEMA
+		st.judged = false
+		st.activeWindows = 0
+		st.activeAgg = Window{}
+		st.globalAgg = Window{}
+		deployed++
+		r.stats.PatchesApplied++
+		if patch.TraceEntry >= 0 {
+			r.stats.TracesEmitted++
+		}
+		switch rw {
+		case RewriteNop:
+			r.stats.PrefetchesNopped += int64(patch.RewrittenPrefetches)
+			st.triedNop = true
+		case RewriteExcl:
+			r.stats.PrefetchesExcl += int64(patch.RewrittenPrefetches)
+			st.triedExcl = true
+		case RewriteBias:
+			r.stats.LoadsBiased += int64(patch.RewrittenPrefetches)
+		}
+	}
+}
+
+// chooseRewrite picks the rewrite for a region under the configured
+// strategy. Adaptive mode tries noprefetch first and escalates to
+// lfetch.excl after a rollback.
+func (r *Runtime) chooseRewrite(st *regionState) (Rewrite, bool) {
+	if st.blocked {
+		return 0, false
+	}
+	switch r.cfg.Strategy {
+	case StrategyNoprefetch:
+		return RewriteNop, true
+	case StrategyExcl:
+		return RewriteExcl, true
+	case StrategyAdaptive:
+		if !st.triedNop {
+			return RewriteNop, true
+		}
+		if !st.triedExcl {
+			return RewriteExcl, true
+		}
+		return 0, false
+	case StrategyBias:
+		return RewriteBias, true
+	}
+	return 0, false
+}
+
+// selectPrefetches applies the association filters of §4: only prefetches
+// streaming over the data structures whose loads miss coherently are
+// touched, and lfetch.excl additionally requires the loop to store into
+// that structure ("if a store operation soon follows the load ... it will
+// not trigger an invalidation"). When binary analysis cannot resolve a
+// target, the paper's coarser loop-boundary heuristic is used: every
+// prefetch in the region.
+func (r *Runtime) selectPrefetches(region Region, loads []Delinquent, rw Rewrite) []int {
+	// The bias rewrite targets the delinquent loads themselves (their PCs
+	// come straight from the DEAR), restricted to loads of data the loop
+	// also stores — "if a store operation soon follows the load" (§4). It
+	// needs no prefetches in the loop at all.
+	if rw == RewriteBias {
+		stored := r.analyzer.StoredSegments(region)
+		var out []int
+		for _, d := range loads {
+			if !region.Contains(d.PC) {
+				continue
+			}
+			if seg, ok := r.analyzer.SegmentOfAddr(d.LastAddr); !ok || !stored[seg.Name] {
+				continue
+			}
+			out = append(out, d.PC)
+		}
+		return out
+	}
+
+	targets := r.analyzer.PrefetchTargets(region)
+	all := r.analyzer.Prefetches(region)
+	if len(all) == 0 {
+		return nil
+	}
+
+	delinqSegs := map[string]bool{}
+	for _, d := range loads {
+		if seg, ok := r.analyzer.SegmentOfAddr(d.LastAddr); ok {
+			delinqSegs[seg.Name] = true
+		}
+	}
+
+	var want func(seg mem.Segment, known bool) bool
+	switch rw {
+	case RewriteNop:
+		want = func(seg mem.Segment, known bool) bool {
+			return !known || len(delinqSegs) == 0 || delinqSegs[seg.Name]
+		}
+	case RewriteExcl:
+		stored := r.analyzer.StoredSegments(region)
+		want = func(seg mem.Segment, known bool) bool {
+			if !known {
+				return false
+			}
+			if len(stored) > 0 && !stored[seg.Name] {
+				return false
+			}
+			return len(delinqSegs) == 0 || delinqSegs[seg.Name]
+		}
+	}
+
+	var out []int
+	for _, pc := range all {
+		seg, known := targets[pc]
+		if want(seg, known) {
+			out = append(out, pc)
+		}
+	}
+	if len(out) == 0 && rw == RewriteNop {
+		out = all // loop-boundary fallback
+	}
+	return out
+}
+
+// String describes the runtime configuration.
+func (r *Runtime) String() string {
+	return fmt.Sprintf("cobra{strategy=%s interval=%d trace=%v}",
+		r.cfg.Strategy, r.cfg.OptimizeInterval, r.cfg.UseTraceCache)
+}

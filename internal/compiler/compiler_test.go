@@ -1,0 +1,484 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ia64"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/openmp"
+)
+
+// daxpyIR is the paper's Figure 1 kernel.
+func daxpyIR(n int64) *loopir.Program {
+	return &loopir.Program{
+		Name: "daxpy",
+		Arrays: []loopir.Array{
+			{Name: "x", Kind: loopir.F64, Elems: n},
+			{Name: "y", Kind: loopir.F64, Elems: n},
+		},
+		Funcs: []*loopir.Func{{
+			Name:        "daxpy_body",
+			Parallel:    true,
+			FloatParams: []string{"a"},
+			Body: []loopir.Stmt{
+				loopir.For{Var: "i", Lo: loopir.V("lo"), Hi: loopir.V("hi"), Body: []loopir.Stmt{
+					loopir.FStore{Array: "y", Index: loopir.V("i"),
+						Val: loopir.FAdd(loopir.At("y", loopir.V("i")),
+							loopir.FMul(loopir.FV("a"), loopir.At("x", loopir.V("i"))))},
+				}},
+			},
+		}},
+	}
+}
+
+// buildAndCompile sets up a machine and compiles prog into it.
+func buildAndCompile(t *testing.T, prog *loopir.Program, ncpu int, opt Options) (*machine.Machine, *Result) {
+	t.Helper()
+	img := ia64.NewImage()
+	cfg := machine.DefaultConfig(ncpu)
+	cfg.Mem.MemBytes = 64 << 20
+	m, err := machine.New(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases, err := AllocArrays(m.Memory(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(img, prog, bases, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+func arrayBase(t *testing.T, m *machine.Machine, prog, name string) uint64 {
+	t.Helper()
+	for _, s := range m.Memory().Segments() {
+		if s.Name == prog+"."+name {
+			return s.Base
+		}
+	}
+	t.Fatalf("array %s.%s not allocated", prog, name)
+	return 0
+}
+
+func runDaxpy(t *testing.T, opt Options, nthreads int) (*machine.Machine, *Result) {
+	t.Helper()
+	const n = 512
+	prog := daxpyIR(n)
+	m, res := buildAndCompile(t, prog, nthreads, opt)
+	x := arrayBase(t, m, "daxpy", "x")
+	y := arrayBase(t, m, "daxpy", "y")
+	for i := int64(0); i < n; i++ {
+		m.Memory().WriteF64(x+uint64(8*i), float64(i))
+		m.Memory().WriteF64(y+uint64(8*i), float64(3*i))
+	}
+	rt, err := openmp.NewRuntime(m, nthreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := res.Funcs["daxpy_body"]
+	err = rt.ParallelFor(cf.Fn, n, func(tid int, rf *ia64.RegFile) {
+		rf.SetFR(cf.FloatArgs["a"], 2.0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n; i++ {
+		want := 3*float64(i) + 2*float64(i)
+		if got := m.Memory().ReadF64(y + uint64(8*i)); got != want {
+			t.Fatalf("y[%d] = %v, want %v", i, got, want)
+		}
+	}
+	return m, res
+}
+
+func TestDaxpyCorrectSingleThread(t *testing.T) {
+	runDaxpy(t, DefaultOptions(), 1)
+}
+
+func TestDaxpyCorrectFourThreads(t *testing.T) {
+	runDaxpy(t, DefaultOptions(), 4)
+}
+
+func TestDaxpyCorrectWithoutPrefetch(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Prefetch = false
+	runDaxpy(t, opt, 2)
+}
+
+func TestDaxpyCorrectWithoutSWP(t *testing.T) {
+	opt := DefaultOptions()
+	opt.EnableSWP = false
+	runDaxpy(t, opt, 2)
+}
+
+func TestDaxpyFig2Structure(t *testing.T) {
+	// The generated DAXPY must mirror Figure 2: a two-stage ctop loop,
+	// prologue lfetch burst, and steady-state lfetch.nt1 per stream.
+	m, res := runDaxpy(t, DefaultOptions(), 1)
+	cf := res.Funcs["daxpy_body"]
+	if len(cf.Loops) != 1 {
+		t.Fatalf("loops = %+v", cf.Loops)
+	}
+	li := cf.Loops[0]
+	if li.Kind != ia64.BrCtop {
+		t.Fatalf("loop kind = %v, want ctop (software pipelined)", li.Kind)
+	}
+	// Two streams (x and y) -> 2 steady prefetches, 12 prologue.
+	if len(li.PrefetchPCs) != 2 {
+		t.Fatalf("steady prefetches = %v, want 2 (x and y)", li.PrefetchPCs)
+	}
+	if len(li.ProloguePCs) != 2*DefaultOptions().ProloguePrefetches {
+		t.Fatalf("prologue prefetches = %d, want %d", len(li.ProloguePCs), 2*DefaultOptions().ProloguePrefetches)
+	}
+	arrays := map[string]bool{}
+	for _, a := range li.PrefetchPCs {
+		arrays[a] = true
+	}
+	if !arrays["x"] || !arrays["y"] {
+		t.Fatalf("steady prefetch arrays = %v", arrays)
+	}
+	// All generated prefetches carry the .nt1 completer.
+	img := m.Image()
+	for pc := range li.PrefetchPCs {
+		in := img.Fetch(pc)
+		if in.Op != ia64.OpLfetch || in.Hint != ia64.HintNT1 {
+			t.Fatalf("slot %d = %v%v, want lfetch.nt1", pc, in.Op, in.Hint)
+		}
+	}
+	// The loop uses rotating registers: there must be ldf targets >= f32.
+	sawRotating := false
+	for pc := li.Head; pc <= li.BranchPC; pc++ {
+		if in := img.Fetch(pc); in.Op == ia64.OpLdf && in.R1 >= 32 {
+			sawRotating = true
+		}
+	}
+	if !sawRotating {
+		t.Fatal("no rotating-register loads in the pipelined loop")
+	}
+}
+
+func TestNoPrefetchOptionEmitsNoLfetch(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Prefetch = false
+	m, res := runDaxpy(t, opt, 1)
+	if c := res.StaticCounts(m.Image()); c.Lfetch != 0 {
+		t.Fatalf("lfetch count = %d with prefetch disabled", c.Lfetch)
+	}
+}
+
+func TestStaticCountsDaxpy(t *testing.T) {
+	m, res := runDaxpy(t, DefaultOptions(), 1)
+	c := res.StaticCounts(m.Image())
+	if c.BrCtop != 1 || c.BrCloop != 0 || c.BrWtop != 0 {
+		t.Fatalf("branch counts = %+v", c)
+	}
+	want := 2 * (DefaultOptions().ProloguePrefetches + 1) // 2 streams * (prologue + steady)
+	if c.Lfetch != want {
+		t.Fatalf("lfetch = %d, want %d", c.Lfetch, want)
+	}
+}
+
+// sumIR builds a reduction: partial[tid] = sum over [lo,hi) of x[i]*y[i].
+func sumIR(n int64) *loopir.Program {
+	return &loopir.Program{
+		Name: "dot",
+		Arrays: []loopir.Array{
+			{Name: "x", Kind: loopir.F64, Elems: n},
+			{Name: "y", Kind: loopir.F64, Elems: n},
+			{Name: "partial", Kind: loopir.F64, Elems: 8},
+		},
+		Funcs: []*loopir.Func{{
+			Name:     "dot_body",
+			Parallel: true,
+			Body: []loopir.Stmt{
+				loopir.SetF{Name: "acc", Val: loopir.F(0)},
+				loopir.For{Var: "i", Lo: loopir.V("lo"), Hi: loopir.V("hi"), Body: []loopir.Stmt{
+					loopir.SetF{Name: "acc", Val: loopir.FAdd(loopir.FV("acc"),
+						loopir.FMul(loopir.At("x", loopir.V("i")), loopir.At("y", loopir.V("i"))))},
+				}},
+				loopir.FStore{Array: "partial", Index: loopir.V("tid"), Val: loopir.FV("acc")},
+			},
+		}},
+	}
+}
+
+func TestReductionLoop(t *testing.T) {
+	const n = 300
+	prog := sumIR(n)
+	m, res := buildAndCompile(t, prog, 4, DefaultOptions())
+	x := arrayBase(t, m, "dot", "x")
+	y := arrayBase(t, m, "dot", "y")
+	want := 0.0
+	for i := int64(0); i < n; i++ {
+		m.Memory().WriteF64(x+uint64(8*i), float64(i))
+		m.Memory().WriteF64(y+uint64(8*i), 2.0)
+		want += float64(i) * 2.0
+	}
+	rt, _ := openmp.NewRuntime(m, 4)
+	cf := res.Funcs["dot_body"]
+	if err := rt.ParallelFor(cf.Fn, n, nil); err != nil {
+		t.Fatal(err)
+	}
+	p := arrayBase(t, m, "dot", "partial")
+	got := 0.0
+	for tIdx := 0; tIdx < 4; tIdx++ {
+		got += m.Memory().ReadF64(p + uint64(8*tIdx))
+	}
+	if got != want {
+		t.Fatalf("dot = %v, want %v", got, want)
+	}
+	// Reduction loops pipeline as single-stage ctop.
+	if li := cf.Loops[0]; li.Kind != ia64.BrCtop {
+		t.Fatalf("reduction loop kind = %v", li.Kind)
+	}
+}
+
+// gatherIR: y[k] = x[col[k]] — CG-style sparse access.
+func gatherIR(n int64) *loopir.Program {
+	return &loopir.Program{
+		Name: "gather",
+		Arrays: []loopir.Array{
+			{Name: "x", Kind: loopir.F64, Elems: n},
+			{Name: "y", Kind: loopir.F64, Elems: n},
+			{Name: "col", Kind: loopir.I64, Elems: n},
+		},
+		Funcs: []*loopir.Func{{
+			Name:     "gather_body",
+			Parallel: true,
+			Body: []loopir.Stmt{
+				loopir.For{Var: "k", Lo: loopir.V("lo"), Hi: loopir.V("hi"), Body: []loopir.Stmt{
+					loopir.FStore{Array: "y", Index: loopir.V("k"),
+						Val: loopir.At("x", loopir.IAt("col", loopir.V("k")))},
+				}},
+			},
+		}},
+	}
+}
+
+func TestGatherLoop(t *testing.T) {
+	const n = 128
+	prog := gatherIR(n)
+	m, res := buildAndCompile(t, prog, 2, DefaultOptions())
+	x := arrayBase(t, m, "gather", "x")
+	y := arrayBase(t, m, "gather", "y")
+	col := arrayBase(t, m, "gather", "col")
+	for i := int64(0); i < n; i++ {
+		m.Memory().WriteF64(x+uint64(8*i), float64(i*i))
+		m.Memory().WriteI64(col+uint64(8*i), (i*7)%n)
+	}
+	rt, _ := openmp.NewRuntime(m, 2)
+	cf := res.Funcs["gather_body"]
+	if err := rt.ParallelFor(cf.Fn, n, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n; i++ {
+		j := (i * 7) % n
+		if got := m.Memory().ReadF64(y + uint64(8*i)); got != float64(j*j) {
+			t.Fatalf("y[%d] = %v, want %v", i, got, float64(j*j))
+		}
+	}
+	// The gather itself is unprefetchable, but col[] and y[] stream.
+	li := cf.Loops[0]
+	pfArrays := map[string]bool{}
+	for _, a := range li.PrefetchPCs {
+		pfArrays[a] = true
+	}
+	if !pfArrays["col"] || !pfArrays["y"] || pfArrays["x"] {
+		t.Fatalf("prefetched arrays = %v, want col+y only", pfArrays)
+	}
+}
+
+// nestedIR: 2D relaxation u[i*w+j] = 0.5*(v[i*w+j-1] + v[i*w+j+1]).
+func nestedIR(h, w int64) *loopir.Program {
+	idx := loopir.IAdd(loopir.IMul(loopir.V("i"), loopir.I(w)), loopir.V("j"))
+	return &loopir.Program{
+		Name: "stencil",
+		Arrays: []loopir.Array{
+			{Name: "u", Kind: loopir.F64, Elems: h * w},
+			{Name: "v", Kind: loopir.F64, Elems: h * w},
+		},
+		Funcs: []*loopir.Func{{
+			Name:     "relax",
+			Parallel: true,
+			Body: []loopir.Stmt{
+				loopir.For{Var: "i", Lo: loopir.V("lo"), Hi: loopir.V("hi"), Body: []loopir.Stmt{
+					loopir.For{Var: "j", Lo: loopir.I(1), Hi: loopir.I(w - 1), Body: []loopir.Stmt{
+						loopir.FStore{Array: "u", Index: idx,
+							Val: loopir.FMul(loopir.F(0.5),
+								loopir.FAdd(loopir.At("v", loopir.ISub(idx, loopir.I(1))),
+									loopir.At("v", loopir.IAdd(idx, loopir.I(1)))))},
+					}},
+				}},
+			},
+		}},
+	}
+}
+
+func TestNestedStencilLoop(t *testing.T) {
+	const h, w = 8, 32
+	prog := nestedIR(h, w)
+	m, res := buildAndCompile(t, prog, 2, DefaultOptions())
+	u := arrayBase(t, m, "stencil", "u")
+	v := arrayBase(t, m, "stencil", "v")
+	for i := int64(0); i < h*w; i++ {
+		m.Memory().WriteF64(v+uint64(8*i), float64(i))
+	}
+	rt, _ := openmp.NewRuntime(m, 2)
+	cf := res.Funcs["relax"]
+	if err := rt.ParallelFor(cf.Fn, h, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < h; i++ {
+		for j := int64(1); j < w-1; j++ {
+			k := i*w + j
+			want := 0.5 * (float64(k-1) + float64(k+1))
+			if got := m.Memory().ReadF64(u + uint64(8*k)); got != want {
+				t.Fatalf("u[%d,%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	// Outer loop lowers to compare-and-branch, inner to a counted form.
+	if len(cf.Loops) != 2 {
+		t.Fatalf("loops = %+v", cf.Loops)
+	}
+	var outer, inner LoopInfo
+	for _, li := range cf.Loops {
+		if li.Var == "i" {
+			outer = li
+		} else {
+			inner = li
+		}
+	}
+	if outer.Kind != ia64.BrCond {
+		t.Fatalf("outer kind = %v, want cond", outer.Kind)
+	}
+	if inner.Kind != ia64.BrCtop && inner.Kind != ia64.BrCloop {
+		t.Fatalf("inner kind = %v", inner.Kind)
+	}
+	// Stencil refs v[k-1], v[k+1] share one cursor; u[k] another: 2 streams.
+	if len(inner.PrefetchPCs) != 2 {
+		t.Fatalf("inner steady prefetches = %v, want 2", inner.PrefetchPCs)
+	}
+}
+
+func TestCountedHint(t *testing.T) {
+	prog := daxpyIR(64)
+	prog.Funcs[0].Body[0] = loopir.For{
+		Var: "i", Lo: loopir.V("lo"), Hi: loopir.V("hi"), Hint: loopir.HintCounted,
+		Body: prog.Funcs[0].Body[0].(loopir.For).Body,
+	}
+	m, res := buildAndCompile(t, prog, 1, DefaultOptions())
+	_ = m
+	if li := res.Funcs["daxpy_body"].Loops[0]; li.Kind != ia64.BrCloop {
+		t.Fatalf("kind = %v, want cloop under HintCounted", li.Kind)
+	}
+}
+
+func TestNoOptHintSkipsPrefetch(t *testing.T) {
+	prog := daxpyIR(64)
+	prog.Funcs[0].Body[0] = loopir.For{
+		Var: "i", Lo: loopir.V("lo"), Hi: loopir.V("hi"), Hint: loopir.HintNoOpt,
+		Body: prog.Funcs[0].Body[0].(loopir.For).Body,
+	}
+	m, res := buildAndCompile(t, prog, 1, DefaultOptions())
+	if c := res.StaticCounts(m.Image()); c.Lfetch != 0 {
+		t.Fatalf("lfetch = %d under HintNoOpt", c.Lfetch)
+	}
+}
+
+// whileIR: geometric halving: n = n >> 1 while n > 1, counting steps.
+func whileIR() *loopir.Program {
+	return &loopir.Program{
+		Name:   "halve",
+		Arrays: []loopir.Array{{Name: "out", Kind: loopir.I64, Elems: 8}},
+		Funcs: []*loopir.Func{{
+			Name:      "halve_body",
+			IntParams: []string{"n"},
+			Body: []loopir.Stmt{
+				loopir.SetI{Name: "steps", Val: loopir.I(0)},
+				loopir.While{
+					Body: []loopir.Stmt{
+						loopir.SetI{Name: "n", Val: loopir.IShr(loopir.V("n"), loopir.I(1))},
+						loopir.SetI{Name: "steps", Val: loopir.IAdd(loopir.V("steps"), loopir.I(1))},
+					},
+					Cond: loopir.Cond{Rel: loopir.GT, A: loopir.V("n"), B: loopir.I(1)},
+				},
+				loopir.IStore{Array: "out", Index: loopir.I(0), Val: loopir.V("steps")},
+			},
+		}},
+	}
+}
+
+func TestWhileLoopWtop(t *testing.T) {
+	prog := whileIR()
+	m, res := buildAndCompile(t, prog, 1, DefaultOptions())
+	cf := res.Funcs["halve_body"]
+	if li := cf.Loops[0]; li.Kind != ia64.BrWtop {
+		t.Fatalf("while kind = %v, want wtop", li.Kind)
+	}
+	out := arrayBase(t, m, "halve", "out")
+	m.StartThread(0, cf.Fn.Entry, 0, func(rf *ia64.RegFile) {
+		rf.SetGR(cf.IntArgs["n"], 64)
+	})
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Memory().ReadI64(out); got != 6 {
+		t.Fatalf("steps = %d, want 6 (64 -> 1)", got)
+	}
+}
+
+func TestCompileRejectsMissingBase(t *testing.T) {
+	prog := daxpyIR(64)
+	img := ia64.NewImage()
+	if _, err := Compile(img, prog, ArrayMap{"x": 4096}, DefaultOptions()); err == nil {
+		t.Fatal("accepted missing array base")
+	}
+}
+
+func TestCompileRejectsInvalidProgram(t *testing.T) {
+	prog := daxpyIR(64)
+	prog.Funcs[0].Body = []loopir.Stmt{loopir.FStore{Array: "zzz", Index: loopir.I(0), Val: loopir.F(0)}}
+	img := ia64.NewImage()
+	if _, err := Compile(img, prog, ArrayMap{"x": 4096, "y": 8192}, DefaultOptions()); err == nil {
+		t.Fatal("accepted invalid program")
+	}
+}
+
+func TestEmptyIterationSpaceSkipsLoop(t *testing.T) {
+	const n = 16
+	prog := daxpyIR(n)
+	m, res := buildAndCompile(t, prog, 1, DefaultOptions())
+	y := arrayBase(t, m, "daxpy", "y")
+	m.Memory().WriteF64(y, 7)
+	cf := res.Funcs["daxpy_body"]
+	// lo == hi: the guard must skip the whole loop.
+	m.StartThread(0, cf.Fn.Entry, 0, func(rf *ia64.RegFile) {
+		rf.SetGR(openmp.RegLo, 5)
+		rf.SetGR(openmp.RegHi, 5)
+		rf.SetFR(cf.FloatArgs["a"], 2)
+	})
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Memory().ReadF64(y); got != 7 {
+		t.Fatalf("empty loop wrote memory: y[0] = %v", got)
+	}
+}
+
+func TestDisasmDumpShowsFig2Shape(t *testing.T) {
+	m, res := runDaxpy(t, DefaultOptions(), 1)
+	var sb strings.Builder
+	ia64.DumpFunc(&sb, m.Image(), res.Funcs["daxpy_body"].Fn)
+	out := sb.String()
+	for _, want := range []string{"lfetch.nt1", "br.ctop", "fma.d", "(p16)", "(p17)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/ia64"
+	"repro/internal/loopir"
+)
+
+// loopCtx carries the state of the innermost loop being lowered: the loop
+// variable, the cursor registers maintained for affine array streams, and
+// software-pipelining stage information.
+type loopCtx struct {
+	varName  string
+	varReg   uint8
+	assigned map[string]bool
+
+	swp        bool  // body instructions carry the stage predicate
+	qpOverride uint8 // stage predicate override (two-stage compute phase)
+
+	cursors map[string]*cursor
+
+	// stage2loads maps FLoad reference keys to the rotated register
+	// holding the value loaded one iteration earlier (two-stage SWP).
+	stage2loads map[string]uint8
+}
+
+// cursor is a register tracking the byte address of one affine array
+// stream: base + 8*(stride*var + baseSans) + 8*constOff is reached by
+// adding 8*constOff to the register at use time.
+type cursor struct {
+	key     string
+	array   string
+	stride  int64
+	reg     uint8
+	regName string
+}
+
+func cursorKey(array string, stride int64, baseSans loopir.IntExpr) string {
+	return fmt.Sprintf("%s|%d|%s", array, stride, loopir.Key(baseSans))
+}
+
+// lookupCursor resolves an array index against the loop's cursors,
+// returning the cursor and the residual constant element offset.
+func (lc *loopCtx) lookupCursor(array string, index loopir.IntExpr) (*cursor, int64, bool) {
+	if lc == nil || lc.cursors == nil {
+		return nil, 0, false
+	}
+	form, ok := loopir.Affine(index, lc.varName, lc.assigned)
+	if !ok {
+		return nil, 0, false
+	}
+	baseSans, c := loopir.SplitConst(form.Base)
+	cur, ok := lc.cursors[cursorKey(array, form.Stride, baseSans)]
+	return cur, c, ok
+}
+
+// arrayAddr yields a register holding the byte address of array[index],
+// plus a release function for any temporary it claimed.
+func (g *fnGen) arrayAddr(array string, index loopir.IntExpr, lc *loopCtx) (uint8, func()) {
+	qp := g.qp(lc)
+	if cur, off, ok := lc.lookupCursor(array, index); ok {
+		if off == 0 {
+			return cur.reg, func() {}
+		}
+		t, err := g.intTemps.get()
+		if err != nil {
+			g.fail("%s: %v", g.fn.Name, err)
+			return 0, func() {}
+		}
+		g.emit(ia64.Instr{Op: ia64.OpAddI, R1: t, R2: cur.reg, Imm: off * loopir.ElemBytes, QP: qp})
+		return t, func() { g.intTemps.put(t) }
+	}
+	// Generic path: addr = base + (index << 3).
+	idx, relIdx := g.evalI(index, lc)
+	t, err := g.intTemps.get()
+	if err != nil {
+		g.fail("%s: %v", g.fn.Name, err)
+		return 0, func() {}
+	}
+	g.emit(ia64.Instr{Op: ia64.OpShlI, R1: t, R2: idx, Imm: 3, QP: qp})
+	relIdx()
+	base, err := g.intTemps.get()
+	if err != nil {
+		g.fail("%s: %v", g.fn.Name, err)
+		return 0, func() {}
+	}
+	g.emit(ia64.Instr{Op: ia64.OpMovI, R1: base, Imm: int64(g.bases[array]), QP: qp})
+	g.emit(ia64.Instr{Op: ia64.OpAdd, R1: t, R2: t, R3: base, QP: qp})
+	g.intTemps.put(base)
+	return t, func() { g.intTemps.put(t) }
+}
+
+// evalI lowers an integer expression, returning the result register and a
+// release function. Named registers are returned in place (never clobber
+// the result of evalI without copying).
+func (g *fnGen) evalI(e loopir.IntExpr, lc *loopCtx) (uint8, func()) {
+	qp := g.qp(lc)
+	noop := func() {}
+	fail := func(err error) (uint8, func()) {
+		g.fail("%s: %v", g.fn.Name, err)
+		return 0, noop
+	}
+	switch ex := e.(type) {
+	case loopir.IConst:
+		t, err := g.intTemps.get()
+		if err != nil {
+			return fail(err)
+		}
+		g.emit(ia64.Instr{Op: ia64.OpMovI, R1: t, Imm: int64(ex), QP: qp})
+		return t, func() { g.intTemps.put(t) }
+
+	case loopir.IVar:
+		r, err := g.namedGR(string(ex))
+		if err != nil {
+			return fail(err)
+		}
+		return r, noop
+
+	case loopir.IBin:
+		a, relA := g.evalI(ex.A, lc)
+		// Shifts take immediate counts.
+		if ex.Op == loopir.Shl || ex.Op == loopir.Shr {
+			c, isC := constIntExpr(ex.B)
+			if !isC {
+				return fail(fmt.Errorf("shift by non-constant"))
+			}
+			t, err := g.intTemps.get()
+			if err != nil {
+				return fail(err)
+			}
+			op := ia64.OpShlI
+			if ex.Op == loopir.Shr {
+				op = ia64.OpShrI
+			}
+			g.emit(ia64.Instr{Op: op, R1: t, R2: a, Imm: c, QP: qp})
+			relA()
+			return t, func() { g.intTemps.put(t) }
+		}
+		// Constant right operand of +/- folds to addi.
+		if c, isC := constIntExpr(ex.B); isC && (ex.Op == loopir.Add || ex.Op == loopir.Sub) {
+			if ex.Op == loopir.Sub {
+				c = -c
+			}
+			t, err := g.intTemps.get()
+			if err != nil {
+				return fail(err)
+			}
+			g.emit(ia64.Instr{Op: ia64.OpAddI, R1: t, R2: a, Imm: c, QP: qp})
+			relA()
+			return t, func() { g.intTemps.put(t) }
+		}
+		b, relB := g.evalI(ex.B, lc)
+		var op ia64.Op
+		switch ex.Op {
+		case loopir.Add:
+			op = ia64.OpAdd
+		case loopir.Sub:
+			op = ia64.OpSub
+		case loopir.Mul:
+			op = ia64.OpMul
+		case loopir.And:
+			op = ia64.OpAnd
+		case loopir.Or:
+			op = ia64.OpOr
+		case loopir.Xor:
+			op = ia64.OpXor
+		default:
+			return fail(fmt.Errorf("integer operator %v unsupported", ex.Op))
+		}
+		t, err := g.intTemps.get()
+		if err != nil {
+			return fail(err)
+		}
+		g.emit(ia64.Instr{Op: op, R1: t, R2: a, R3: b, QP: qp})
+		relA()
+		relB()
+		return t, func() { g.intTemps.put(t) }
+
+	case loopir.ILoad:
+		addr, relAddr := g.arrayAddr(ex.Array, ex.Index, lc)
+		t, err := g.intTemps.get()
+		if err != nil {
+			return fail(err)
+		}
+		g.emit(ia64.Instr{Op: ia64.OpLd, R1: t, R2: addr, QP: qp})
+		relAddr()
+		return t, func() { g.intTemps.put(t) }
+	}
+	return fail(fmt.Errorf("unknown int expression %T", e))
+}
+
+// evalF lowers a float expression.
+func (g *fnGen) evalF(e loopir.FloatExpr, lc *loopCtx) (uint8, func()) {
+	qp := g.qp(lc)
+	noop := func() {}
+	fail := func(err error) (uint8, func()) {
+		g.fail("%s: %v", g.fn.Name, err)
+		return 0, noop
+	}
+	switch ex := e.(type) {
+	case loopir.FConst:
+		t, err := g.floatTemps.get()
+		if err != nil {
+			return fail(err)
+		}
+		g.emit(ia64.Instr{Op: ia64.OpFMovI, R1: t, Imm: fconstBits(float64(ex)), QP: qp})
+		return t, func() { g.floatTemps.put(t) }
+
+	case loopir.FVar:
+		r, err := g.namedFR(string(ex))
+		if err != nil {
+			return fail(err)
+		}
+		return r, noop
+
+	case loopir.FBin:
+		// fma fusion: a*b + c, a*b - c, and c + a*b lower to one fma.d,
+		// as icc emits in Figure 2.
+		if ex.Op == loopir.Add || ex.Op == loopir.Sub {
+			if mul, okM := ex.A.(loopir.FBin); okM && mul.Op == loopir.Mul {
+				return g.emitFma(mul.A, mul.B, ex.B, ex.Op == loopir.Sub, lc)
+			}
+			if mul, okM := ex.B.(loopir.FBin); okM && mul.Op == loopir.Mul && ex.Op == loopir.Add {
+				return g.emitFma(mul.A, mul.B, ex.A, false, lc)
+			}
+		}
+		a, relA := g.evalF(ex.A, lc)
+		b, relB := g.evalF(ex.B, lc)
+		var op ia64.Op
+		switch ex.Op {
+		case loopir.Add:
+			op = ia64.OpFAdd
+		case loopir.Sub:
+			op = ia64.OpFSub
+		case loopir.Mul:
+			op = ia64.OpFMul
+		case loopir.Div:
+			op = ia64.OpFDiv
+		default:
+			return fail(fmt.Errorf("float operator %v unsupported", ex.Op))
+		}
+		t, err := g.floatTemps.get()
+		if err != nil {
+			return fail(err)
+		}
+		g.emit(ia64.Instr{Op: op, R1: t, R2: a, R3: b, QP: qp})
+		relA()
+		relB()
+		return t, func() { g.floatTemps.put(t) }
+
+	case loopir.FLoad:
+		// Two-stage pipelined bodies read loads issued one iteration
+		// earlier from rotated registers.
+		if lc != nil && lc.stage2loads != nil {
+			if r, ok := lc.stage2loads[refKey(ex)]; ok {
+				return r, noop
+			}
+		}
+		addr, relAddr := g.arrayAddr(ex.Array, ex.Index, lc)
+		t, err := g.floatTemps.get()
+		if err != nil {
+			return fail(err)
+		}
+		g.emit(ia64.Instr{Op: ia64.OpLdf, R1: t, R2: addr, QP: qp})
+		relAddr()
+		return t, func() { g.floatTemps.put(t) }
+
+	case loopir.FFromInt:
+		r, relR := g.evalI(ex.E, lc)
+		t, err := g.floatTemps.get()
+		if err != nil {
+			return fail(err)
+		}
+		g.emit(ia64.Instr{Op: ia64.OpFCvt, R1: t, R2: r, QP: qp})
+		relR()
+		return t, func() { g.floatTemps.put(t) }
+	}
+	return fail(fmt.Errorf("unknown float expression %T", e))
+}
+
+// emitFma lowers a*b ± c into a single fma.d (with fneg for the minus
+// form, since fma has no subtract variant in our subset).
+func (g *fnGen) emitFma(a, b, c loopir.FloatExpr, sub bool, lc *loopCtx) (uint8, func()) {
+	qp := g.qp(lc)
+	ra, relA := g.evalF(a, lc)
+	rb, relB := g.evalF(b, lc)
+	rc, relC := g.evalF(c, lc)
+	t, err := g.floatTemps.get()
+	if err != nil {
+		g.fail("%s: %v", g.fn.Name, err)
+		return 0, func() {}
+	}
+	if sub {
+		// a*b - c == fma(a, b, -c)
+		tn, err := g.floatTemps.get()
+		if err != nil {
+			g.fail("%s: %v", g.fn.Name, err)
+			return 0, func() {}
+		}
+		g.emit(ia64.Instr{Op: ia64.OpFNeg, R1: tn, R2: rc, QP: qp})
+		g.emit(ia64.Instr{Op: ia64.OpFma, R1: t, R2: ra, R3: rb, Imm: int64(tn), QP: qp})
+		g.floatTemps.put(tn)
+	} else {
+		g.emit(ia64.Instr{Op: ia64.OpFma, R1: t, R2: ra, R3: rb, Imm: int64(rc), QP: qp})
+	}
+	relA()
+	relB()
+	relC()
+	return t, func() { g.floatTemps.put(t) }
+}
+
+func refKey(f loopir.FLoad) string {
+	return f.Array + "[" + loopir.Key(f.Index) + "]"
+}
+
+func constIntExpr(e loopir.IntExpr) (int64, bool) {
+	form, ok := loopir.Affine(e, "", nil)
+	if !ok || form.Stride != 0 {
+		return 0, false
+	}
+	rest, c := loopir.SplitConst(form.Base)
+	if k, isZero := rest.(loopir.IConst); isZero && int64(k) == 0 {
+		return c, true
+	}
+	return 0, false
+}

@@ -1,0 +1,483 @@
+package compiler
+
+import (
+	"repro/internal/ia64"
+	"repro/internal/loopir"
+)
+
+// refInfo is one array reference found in a loop body.
+type refInfo struct {
+	array string
+	index loopir.IntExpr
+	store bool
+}
+
+func collectRefs(stmts []loopir.Stmt) []refInfo {
+	var out []refInfo
+	var walkI func(loopir.IntExpr)
+	var walkF func(loopir.FloatExpr)
+	walkI = func(e loopir.IntExpr) {
+		switch ex := e.(type) {
+		case loopir.IBin:
+			walkI(ex.A)
+			walkI(ex.B)
+		case loopir.ILoad:
+			walkI(ex.Index)
+			out = append(out, refInfo{array: ex.Array, index: ex.Index})
+		}
+	}
+	walkF = func(e loopir.FloatExpr) {
+		switch ex := e.(type) {
+		case loopir.FBin:
+			walkF(ex.A)
+			walkF(ex.B)
+		case loopir.FLoad:
+			walkI(ex.Index)
+			out = append(out, refInfo{array: ex.Array, index: ex.Index})
+		case loopir.FFromInt:
+			walkI(ex.E)
+		}
+	}
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case loopir.FStore:
+			walkF(st.Val)
+			walkI(st.Index)
+			out = append(out, refInfo{array: st.Array, index: st.Index, store: true})
+		case loopir.IStore:
+			walkI(st.Val)
+			walkI(st.Index)
+			out = append(out, refInfo{array: st.Array, index: st.Index, store: true})
+		case loopir.SetF:
+			walkF(st.Val)
+		case loopir.SetI:
+			walkI(st.Val)
+		}
+	}
+	return out
+}
+
+// pfStream is one prefetch stream: a representative cursor for an
+// (array, stride) pair.
+type pfStream struct {
+	array  string
+	stride int64
+	rep    *cursor
+}
+
+// lowerFor dispatches a For to its lowering strategy.
+func (g *fnGen) lowerFor(st loopir.For) {
+	innermost := !containsLoop(st.Body)
+	switch {
+	case !innermost || st.Hint == loopir.HintNoOpt:
+		g.lowerCondLoop(st)
+	case st.Hint == loopir.HintCounted || !g.opt.EnableSWP:
+		g.lowerCountedLoop(st, ia64.BrCloop)
+	default:
+		if loads, store, ok := g.matchTwoStage(st); ok {
+			g.lowerTwoStage(st, loads, store)
+		} else {
+			g.lowerCountedLoop(st, ia64.BrCtop)
+		}
+	}
+}
+
+// loopPreamble materializes the loop variable (= Lo) and emits the
+// trip-count guard branching to skipLabel when the range is empty. It
+// returns the loop variable register and a register holding Hi (an anon
+// named register the caller must release).
+func (g *fnGen) loopPreamble(st loopir.For, skipLabel string) (rv, rh uint8, rhName string) {
+	var err error
+	rv, err = g.namedGR(st.Var)
+	if err != nil {
+		g.fail("%v", err)
+		return
+	}
+	lo, relLo := g.evalI(st.Lo, nil)
+	g.emit(ia64.Instr{Op: ia64.OpAddI, R1: rv, R2: lo, Imm: 0})
+	relLo()
+	rhName = "·hi·" + st.Var
+	rh, err = g.namedGR(rhName)
+	if err != nil {
+		g.fail("%v", err)
+		return
+	}
+	hi, relHi := g.evalI(st.Hi, nil)
+	g.emit(ia64.Instr{Op: ia64.OpAddI, R1: rh, R2: hi, Imm: 0})
+	relHi()
+	g.emit(ia64.Instr{Op: ia64.OpCmp, Rel: ia64.CmpGE, P1: guardPred, P2: 0, R2: rv, R3: rh})
+	g.asm.Br(ia64.BrCond, guardPred, skipLabel)
+	return
+}
+
+// setLC emits LC = hi - var - 1 for counted loops.
+func (g *fnGen) setLC(rv, rh uint8) {
+	t, err := g.intTemps.get()
+	if err != nil {
+		g.fail("%v", err)
+		return
+	}
+	g.emit(ia64.Instr{Op: ia64.OpSub, R1: t, R2: rh, R3: rv})
+	g.emit(ia64.Instr{Op: ia64.OpAddI, R1: t, R2: t, Imm: -1})
+	g.emit(ia64.Instr{Op: ia64.OpMovToLC, R2: t})
+	g.intTemps.put(t)
+}
+
+// buildCursors creates cursor registers for every affine stream in body,
+// initialized for var = Lo (the loop variable register must already hold
+// Lo). It returns the cursors in creation order plus the deduplicated
+// prefetch streams.
+func (g *fnGen) buildCursors(st loopir.For, lc *loopCtx) ([]*cursor, []*pfStream) {
+	refs := collectRefs(st.Body)
+	var order []*cursor
+	var streams []*pfStream
+	seenStream := map[string]bool{}
+	for _, ref := range refs {
+		form, ok := loopir.Affine(ref.index, st.Var, lc.assigned)
+		if !ok {
+			continue // gather/scatter: no cursor, generic addressing
+		}
+		baseSans, _ := loopir.SplitConst(form.Base)
+		key := cursorKey(ref.array, form.Stride, baseSans)
+		if _, dup := lc.cursors[key]; dup {
+			continue
+		}
+		cur := g.makeCursor(ref.array, form.Stride, baseSans, key)
+		if cur == nil {
+			return order, streams
+		}
+		lc.cursors[key] = cur
+		order = append(order, cur)
+		if form.Stride != 0 && g.opt.Prefetch && st.Hint != loopir.HintNoOpt {
+			sk := cursorStreamKey(ref.array, form.Stride)
+			if !seenStream[sk] {
+				seenStream[sk] = true
+				streams = append(streams, &pfStream{array: ref.array, stride: form.Stride, rep: cur})
+			}
+		}
+	}
+	return order, streams
+}
+
+func cursorStreamKey(array string, stride int64) string {
+	return cursorKey(array, stride, loopir.IConst(0))
+}
+
+// makeCursor allocates and initializes a cursor register to
+// base + 8*(stride*var + baseSans), assuming the loop variable currently
+// holds Lo.
+func (g *fnGen) makeCursor(array string, stride int64, baseSans loopir.IntExpr, key string) *cursor {
+	regName := "·cur" + key
+	reg, err := g.namedGR(regName)
+	if err != nil {
+		g.fail("%v", err)
+		return nil
+	}
+	// Evaluate stride*var + baseSans directly (var register holds Lo).
+	var e loopir.IntExpr = baseSans
+	if stride != 0 {
+		e = loopir.IAdd(loopir.IMul(loopir.I(stride), loopir.IVar(g.curVarName)), baseSans)
+	}
+	idx, relIdx := g.evalI(e, nil)
+	t, err := g.intTemps.get()
+	if err != nil {
+		g.fail("%v", err)
+		return nil
+	}
+	g.emit(ia64.Instr{Op: ia64.OpShlI, R1: t, R2: idx, Imm: 3})
+	relIdx()
+	b, err := g.intTemps.get()
+	if err != nil {
+		g.fail("%v", err)
+		return nil
+	}
+	g.emit(ia64.Instr{Op: ia64.OpMovI, R1: b, Imm: int64(g.bases[array])})
+	g.emit(ia64.Instr{Op: ia64.OpAdd, R1: reg, R2: t, R3: b})
+	g.intTemps.put(t)
+	g.intTemps.put(b)
+	return &cursor{key: key, array: array, stride: stride, reg: reg, regName: regName}
+}
+
+// emitProloguePrefetches emits the lfetch burst ahead of a loop entry
+// (Figure 2's six prefetches before .b1_22) and records their slots.
+func (g *fnGen) emitProloguePrefetches(streams []*pfStream, rec map[int]string) {
+	if !g.opt.Prefetch {
+		return
+	}
+	line := int64(g.opt.LineBytes)
+	for _, s := range streams {
+		for k := 0; k < g.opt.ProloguePrefetches; k++ {
+			off := int64(k) * line
+			if s.stride < 0 {
+				off = -off
+			}
+			t, err := g.intTemps.get()
+			if err != nil {
+				g.fail("%v", err)
+				return
+			}
+			g.emit(ia64.Instr{Op: ia64.OpAddI, R1: t, R2: s.rep.reg, Imm: off})
+			pc := g.emit(ia64.Instr{Op: ia64.OpLfetch, R2: t, Hint: g.opt.PrefetchHint})
+			g.intTemps.put(t)
+			rec[pc] = s.array
+		}
+	}
+}
+
+// emitSteadyPrefetches emits the per-iteration lfetch per stream targeting
+// PrefetchDistanceLines ahead, and records slot -> array.
+func (g *fnGen) emitSteadyPrefetches(streams []*pfStream, qp uint8, rec map[int]string) {
+	if !g.opt.Prefetch {
+		return
+	}
+	dist := int64(g.opt.PrefetchDistanceLines) * int64(g.opt.LineBytes)
+	for _, s := range streams {
+		off := dist
+		if s.stride < 0 {
+			off = -off
+		}
+		t, err := g.intTemps.get()
+		if err != nil {
+			g.fail("%v", err)
+			return
+		}
+		g.emit(ia64.Instr{Op: ia64.OpAddI, R1: t, R2: s.rep.reg, Imm: off, QP: qp})
+		pc := g.emit(ia64.Instr{Op: ia64.OpLfetch, R2: t, Hint: g.opt.PrefetchHint, QP: qp})
+		g.intTemps.put(t)
+		rec[pc] = s.array
+	}
+}
+
+// advanceCursors bumps every cursor by its per-iteration byte stride.
+func (g *fnGen) advanceCursors(curs []*cursor, qp uint8) {
+	for _, c := range curs {
+		if c.stride == 0 {
+			continue
+		}
+		g.emit(ia64.Instr{Op: ia64.OpAddI, R1: c.reg, R2: c.reg, Imm: c.stride * loopir.ElemBytes, QP: qp})
+	}
+}
+
+// curVarName is set while lowering a loop so makeCursor can reference the
+// loop variable.
+
+// lowerCondLoop emits a compare-and-branch loop (outer loops and
+// HintNoOpt): no LC, no rotation, no prefetching.
+func (g *fnGen) lowerCondLoop(st loopir.For) {
+	skip := g.label(".Ls")
+	top := g.label(".Lt")
+	rv, rh, rhName := g.loopPreamble(st, skip)
+	if g.err != nil {
+		return
+	}
+	g.asm.PadToBundle()
+	g.asm.Label(top)
+	head := g.asm.Len()
+	g.stmtsCtx(st.Body, nil)
+	g.emit(ia64.Instr{Op: ia64.OpAddI, R1: rv, R2: rv, Imm: 1})
+	g.emit(ia64.Instr{Op: ia64.OpCmp, Rel: ia64.CmpLT, P1: latchPred, P2: 0, R2: rv, R3: rh})
+	br := g.asm.Br(ia64.BrCond, latchPred, top)
+	g.asm.Label(skip)
+	g.loops = append(g.loops, LoopInfo{
+		Var: st.Var, Kind: ia64.BrCond, Head: head, BranchPC: br,
+		PrefetchPCs: map[int]string{}, ProloguePCs: map[int]string{},
+		StoredArrays: storedArrays(st.Body),
+	})
+	g.releaseGR(rhName)
+	g.releaseGR(st.Var)
+}
+
+// lowerCountedLoop emits a cloop (plain counted) or single-stage ctop
+// (software-pipelined) innermost loop with cursors and prefetch streams.
+func (g *fnGen) lowerCountedLoop(st loopir.For, kind ia64.BrKind) {
+	skip := g.label(".Ls")
+	top := g.label(".Lt")
+	rv, rh, rhName := g.loopPreamble(st, skip)
+	if g.err != nil {
+		return
+	}
+	g.setLC(rv, rh)
+	g.releaseGR(rhName)
+
+	g.curVarName = st.Var
+	lc := &loopCtx{
+		varName:  st.Var,
+		varReg:   rv,
+		assigned: loopir.AssignedVars(st.Body),
+		cursors:  map[string]*cursor{},
+		swp:      kind == ia64.BrCtop,
+	}
+	curs, streams := g.buildCursors(st, lc)
+	prologue := map[int]string{}
+	g.emitProloguePrefetches(streams, prologue)
+
+	qp := uint8(0)
+	if kind == ia64.BrCtop {
+		qp = stagePred0
+		g.emit(ia64.Instr{Op: ia64.OpClrrrb})
+		g.emit(ia64.Instr{Op: ia64.OpMovToECI, Imm: 1})
+		// Prime the stage predicate: p16 = true.
+		g.emit(ia64.Instr{Op: ia64.OpCmpI, Rel: ia64.CmpEQ, P1: stagePred0, P2: 0, R2: 0, Imm: 0})
+	}
+	g.asm.PadToBundle()
+	g.asm.Label(top)
+	head := g.asm.Len()
+	g.stmtsCtx(st.Body, lc)
+	steady := map[int]string{}
+	g.emitSteadyPrefetches(streams, qp, steady)
+	g.advanceCursors(curs, qp)
+	g.emit(ia64.Instr{Op: ia64.OpAddI, R1: rv, R2: rv, Imm: 1, QP: qp})
+	br := g.asm.Br(kind, 0, top)
+	g.asm.Label(skip)
+	g.loops = append(g.loops, LoopInfo{
+		Var: st.Var, Kind: kind, Head: head, BranchPC: br,
+		PrefetchPCs: steady, ProloguePCs: prologue,
+		StoredArrays: storedArrays(st.Body),
+	})
+	for i := len(curs) - 1; i >= 0; i-- {
+		g.releaseGR(curs[i].regName)
+	}
+	g.releaseGR(st.Var)
+	g.curVarName = ""
+}
+
+// matchTwoStage recognizes the Figure 2 pattern: an innermost loop whose
+// body is a single float store of an expression over unit-affine loads —
+// lowered as a genuinely two-stage software pipeline with rotating
+// registers (loads one iteration ahead of compute+store).
+func (g *fnGen) matchTwoStage(st loopir.For) ([]loopir.FLoad, *loopir.FStore, bool) {
+	if len(st.Body) != 1 {
+		return nil, nil, false
+	}
+	fs, ok := st.Body[0].(loopir.FStore)
+	if !ok {
+		return nil, nil, false
+	}
+	assigned := map[string]bool{st.Var: true}
+	if _, ok := loopir.Affine(fs.Index, st.Var, assigned); !ok {
+		return nil, nil, false
+	}
+	var loads []loopir.FLoad
+	seen := map[string]bool{}
+	var walk func(e loopir.FloatExpr) bool
+	walk = func(e loopir.FloatExpr) bool {
+		switch ex := e.(type) {
+		case loopir.FConst, loopir.FVar:
+			return true
+		case loopir.FBin:
+			return walk(ex.A) && walk(ex.B)
+		case loopir.FLoad:
+			if _, ok := loopir.Affine(ex.Index, st.Var, assigned); !ok {
+				return false
+			}
+			if !seen[refKey(ex)] {
+				seen[refKey(ex)] = true
+				loads = append(loads, ex)
+			}
+			return len(loads) <= 6
+		}
+		return false
+	}
+	if !walk(fs.Val) {
+		return nil, nil, false
+	}
+	return loads, &fs, true
+}
+
+// lowerTwoStage emits the Figure 2 shape: stage 1 (p16) issues the loads
+// into rotating registers and runs the prefetch streams; stage 2 (p17),
+// one rotation behind, computes and stores. EC=2 drains the pipeline.
+func (g *fnGen) lowerTwoStage(st loopir.For, loads []loopir.FLoad, store *loopir.FStore) {
+	skip := g.label(".Ls")
+	top := g.label(".Lt")
+	rv, rh, rhName := g.loopPreamble(st, skip)
+	if g.err != nil {
+		return
+	}
+	g.setLC(rv, rh)
+	g.releaseGR(rhName)
+
+	g.curVarName = st.Var
+	assigned := map[string]bool{st.Var: true}
+	lc := &loopCtx{
+		varName: st.Var, varReg: rv, assigned: assigned,
+		swp: true, stage2loads: map[string]uint8{},
+	}
+
+	// One cursor per load reference (constant offsets folded into the
+	// cursor) and a separate cursor for the store, which advances a
+	// rotation later.
+	var loadCurs []*cursor
+	var streams []*pfStream
+	seenStream := map[string]bool{}
+	for i, ld := range loads {
+		form, _ := loopir.Affine(ld.Index, st.Var, assigned)
+		cur := g.makeCursor(ld.Array, form.Stride, form.Base, "·2s·"+refKey(ld))
+		if cur == nil {
+			return
+		}
+		loadCurs = append(loadCurs, cur)
+		lc.stage2loads[refKey(ld)] = uint8(33 + 2*i) // read rotated by one
+		if g.opt.Prefetch && form.Stride != 0 {
+			sk := cursorStreamKey(ld.Array, form.Stride)
+			if !seenStream[sk] {
+				seenStream[sk] = true
+				streams = append(streams, &pfStream{array: ld.Array, stride: form.Stride, rep: cur})
+			}
+		}
+	}
+	sform, _ := loopir.Affine(store.Index, st.Var, assigned)
+	storeCur := g.makeCursor(store.Array, sform.Stride, sform.Base, "·2sw·"+store.Array)
+	if storeCur == nil {
+		return
+	}
+	if g.opt.Prefetch && sform.Stride != 0 {
+		sk := cursorStreamKey(store.Array, sform.Stride)
+		if !seenStream[sk] {
+			seenStream[sk] = true
+			streams = append(streams, &pfStream{array: store.Array, stride: sform.Stride, rep: storeCur})
+		}
+	}
+
+	prologue := map[int]string{}
+	g.emitProloguePrefetches(streams, prologue)
+
+	g.emit(ia64.Instr{Op: ia64.OpClrrrb})
+	g.emit(ia64.Instr{Op: ia64.OpMovToECI, Imm: 2})
+	g.emit(ia64.Instr{Op: ia64.OpCmpI, Rel: ia64.CmpEQ, P1: stagePred0, P2: 0, R2: 0, Imm: 0})
+
+	g.asm.PadToBundle()
+	g.asm.Label(top)
+	head := g.asm.Len()
+
+	// Stage 1 (p16): loads into rotating registers + prefetch + advance.
+	for i := range loads {
+		g.emit(ia64.Instr{Op: ia64.OpLdf, R1: uint8(32 + 2*i), R2: loadCurs[i].reg, QP: stagePred0})
+	}
+	steady := map[int]string{}
+	g.emitSteadyPrefetches(streams, stagePred0, steady)
+	g.advanceCursors(loadCurs, stagePred0)
+	g.emit(ia64.Instr{Op: ia64.OpAddI, R1: rv, R2: rv, Imm: 1, QP: stagePred0})
+
+	// Stage 2 (p17): compute from rotated registers, store, advance.
+	lc.qpOverride = stagePred1
+	v, relV := g.evalF(store.Val, lc)
+	g.emit(ia64.Instr{Op: ia64.OpStf, R2: storeCur.reg, R3: v, QP: stagePred1})
+	relV()
+	g.advanceCursors([]*cursor{storeCur}, stagePred1)
+	lc.qpOverride = 0
+
+	br := g.asm.Br(ia64.BrCtop, 0, top)
+	g.asm.Label(skip)
+	g.loops = append(g.loops, LoopInfo{
+		Var: st.Var, Kind: ia64.BrCtop, Head: head, BranchPC: br,
+		PrefetchPCs: steady, ProloguePCs: prologue,
+		StoredArrays: []string{store.Array},
+	})
+	g.releaseGR(storeCur.regName)
+	for i := len(loadCurs) - 1; i >= 0; i-- {
+		g.releaseGR(loadCurs[i].regName)
+	}
+	g.releaseGR(st.Var)
+	g.curVarName = ""
+}

@@ -1,0 +1,296 @@
+package compiler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ia64"
+	"repro/internal/loopir"
+	"repro/internal/openmp"
+)
+
+// Property: for randomly generated expression trees, the compiled binary
+// computes exactly (bit-for-bit) what a host-side interpreter of the IR
+// computes, both in straight-line code and inside a software-pipelined
+// loop body.
+
+// exprEnv is the interpreter state: the arrays and the loop variable.
+type exprEnv struct {
+	ints   map[string][]int64
+	floats map[string][]float64
+	vars   map[string]int64
+}
+
+func (e *exprEnv) evalI(x loopir.IntExpr) int64 {
+	switch ex := x.(type) {
+	case loopir.IConst:
+		return int64(ex)
+	case loopir.IVar:
+		return e.vars[string(ex)]
+	case loopir.IBin:
+		a, b := e.evalI(ex.A), e.evalI(ex.B)
+		switch ex.Op {
+		case loopir.Add:
+			return a + b
+		case loopir.Sub:
+			return a - b
+		case loopir.Mul:
+			return a * b
+		case loopir.And:
+			return a & b
+		case loopir.Or:
+			return a | b
+		case loopir.Xor:
+			return a ^ b
+		case loopir.Shl:
+			return a << uint(b&63)
+		case loopir.Shr:
+			return a >> uint(b&63)
+		}
+	case loopir.ILoad:
+		return e.ints[ex.Array][e.evalI(ex.Index)]
+	}
+	panic("unhandled int expr")
+}
+
+func (e *exprEnv) evalF(x loopir.FloatExpr) float64 {
+	switch ex := x.(type) {
+	case loopir.FConst:
+		return float64(ex)
+	case loopir.FVar:
+		return 0 // generator does not emit free float vars
+	case loopir.FBin:
+		// Mirror the compiler's fma fusion: a*b + c and c + a*b compute
+		// fused on the simulated machine, so the interpreter must too.
+		if ex.Op == loopir.Add {
+			if mul, ok := ex.A.(loopir.FBin); ok && mul.Op == loopir.Mul {
+				return math.FMA(e.evalF(mul.A), e.evalF(mul.B), e.evalF(ex.B))
+			}
+			if mul, ok := ex.B.(loopir.FBin); ok && mul.Op == loopir.Mul {
+				return math.FMA(e.evalF(mul.A), e.evalF(mul.B), e.evalF(ex.A))
+			}
+		}
+		if ex.Op == loopir.Sub {
+			if mul, ok := ex.A.(loopir.FBin); ok && mul.Op == loopir.Mul {
+				return math.FMA(e.evalF(mul.A), e.evalF(mul.B), -e.evalF(ex.B))
+			}
+		}
+		a, b := e.evalF(ex.A), e.evalF(ex.B)
+		switch ex.Op {
+		case loopir.Add:
+			return a + b
+		case loopir.Sub:
+			return a - b
+		case loopir.Mul:
+			return a * b
+		case loopir.Div:
+			return a / b
+		}
+	case loopir.FLoad:
+		return e.floats[ex.Array][e.evalI(ex.Index)]
+	case loopir.FFromInt:
+		return float64(e.evalI(ex.E))
+	}
+	panic("unhandled float expr")
+}
+
+const propElems = 64
+
+// boundIdx wraps an index expression into [0, propElems).
+func boundIdx(e loopir.IntExpr) loopir.IntExpr {
+	return loopir.IAnd(e, loopir.I(propElems-1))
+}
+
+// genIntExpr builds a random integer expression over loop variable "i".
+func genIntExpr(r *rand.Rand, depth int) loopir.IntExpr {
+	if depth <= 0 {
+		switch r.Intn(3) {
+		case 0:
+			return loopir.I(int64(r.Intn(201) - 100))
+		case 1:
+			return loopir.V("i")
+		default:
+			return loopir.IAt("ia", boundIdx(loopir.V("i")))
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return loopir.IAdd(genIntExpr(r, depth-1), genIntExpr(r, depth-1))
+	case 1:
+		return loopir.ISub(genIntExpr(r, depth-1), genIntExpr(r, depth-1))
+	case 2:
+		return loopir.IMul(genIntExpr(r, depth-1), genIntExpr(r, depth-1))
+	case 3:
+		return loopir.IAnd(genIntExpr(r, depth-1), genIntExpr(r, depth-1))
+	case 4:
+		return loopir.IBin{Op: loopir.Or, A: genIntExpr(r, depth-1), B: genIntExpr(r, depth-1)}
+	case 5:
+		return loopir.IBin{Op: loopir.Xor, A: genIntExpr(r, depth-1), B: genIntExpr(r, depth-1)}
+	case 6:
+		return loopir.IShl(genIntExpr(r, depth-1), loopir.I(int64(r.Intn(4))))
+	default:
+		return loopir.IAt("ia", boundIdx(genIntExpr(r, depth-1)))
+	}
+}
+
+// genFloatExpr builds a random float expression over "i".
+func genFloatExpr(r *rand.Rand, depth int) loopir.FloatExpr {
+	if depth <= 0 {
+		switch r.Intn(3) {
+		case 0:
+			return loopir.F(float64(r.Intn(41)-20) / 4)
+		case 1:
+			return loopir.At("fa", boundIdx(loopir.V("i")))
+		default:
+			return loopir.FFromInt{E: genIntExpr(r, 0)}
+		}
+	}
+	switch r.Intn(5) {
+	case 0:
+		return loopir.FAdd(genFloatExpr(r, depth-1), genFloatExpr(r, depth-1))
+	case 1:
+		return loopir.FSub(genFloatExpr(r, depth-1), genFloatExpr(r, depth-1))
+	case 2:
+		return loopir.FMul(genFloatExpr(r, depth-1), genFloatExpr(r, depth-1))
+	case 3:
+		return loopir.FDiv(genFloatExpr(r, depth-1), genFloatExpr(r, depth-1))
+	default:
+		return loopir.At("fa", boundIdx(genIntExpr(r, depth-1)))
+	}
+}
+
+// runExprProgram compiles "for i in [0,n): iout[i] = ie; fout[i] = fe" and
+// executes it; hint selects the loop lowering.
+func runExprProgram(t *testing.T, ie loopir.IntExpr, fe loopir.FloatExpr,
+	hint loopir.LoopHint, ia []int64, fa []float64) ([]int64, []float64) {
+	t.Helper()
+	prog := &loopir.Program{
+		Name: "prop",
+		Arrays: []loopir.Array{
+			{Name: "ia", Kind: loopir.I64, Elems: propElems},
+			{Name: "fa", Kind: loopir.F64, Elems: propElems},
+			{Name: "iout", Kind: loopir.I64, Elems: propElems},
+			{Name: "fout", Kind: loopir.F64, Elems: propElems},
+		},
+		Funcs: []*loopir.Func{{
+			Name:     "body",
+			Parallel: true,
+			Body: []loopir.Stmt{
+				loopir.For{Var: "i", Lo: loopir.V("lo"), Hi: loopir.V("hi"), Hint: hint, Body: []loopir.Stmt{
+					loopir.IStore{Array: "iout", Index: loopir.V("i"), Val: ie},
+					loopir.FStore{Array: "fout", Index: loopir.V("i"), Val: fe},
+				}},
+			},
+		}},
+	}
+	m, res := buildAndCompile(t, prog, 2, DefaultOptions())
+	iaBase := arrayBase(t, m, "prop", "ia")
+	faBase := arrayBase(t, m, "prop", "fa")
+	for i := 0; i < propElems; i++ {
+		m.Memory().WriteI64(iaBase+uint64(8*i), ia[i])
+		m.Memory().WriteF64(faBase+uint64(8*i), fa[i])
+	}
+	rt, err := openmp.NewRuntime(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.ParallelFor(res.Funcs["body"].Fn, propElems, nil); err != nil {
+		t.Fatal(err)
+	}
+	iout := make([]int64, propElems)
+	fout := make([]float64, propElems)
+	ioBase := arrayBase(t, m, "prop", "iout")
+	foBase := arrayBase(t, m, "prop", "fout")
+	for i := 0; i < propElems; i++ {
+		iout[i] = m.Memory().ReadI64(ioBase + uint64(8*i))
+		fout[i] = m.Memory().ReadF64(foBase + uint64(8*i))
+	}
+	return iout, fout
+}
+
+func TestCompiledExpressionsMatchInterpreter(t *testing.T) {
+	r := rand.New(rand.NewSource(20260706))
+	for trial := 0; trial < 30; trial++ {
+		ia := make([]int64, propElems)
+		fa := make([]float64, propElems)
+		for i := range ia {
+			ia[i] = int64(r.Intn(4001) - 2000)
+			fa[i] = float64(r.Intn(2001)-1000) / 8
+		}
+		ie := genIntExpr(r, 3)
+		fe := genFloatExpr(r, 3)
+		hint := []loopir.LoopHint{loopir.HintAuto, loopir.HintCounted, loopir.HintNoOpt}[trial%3]
+
+		iout, fout := runExprProgram(t, ie, fe, hint, ia, fa)
+
+		env := &exprEnv{
+			ints:   map[string][]int64{"ia": ia},
+			floats: map[string][]float64{"fa": fa},
+			vars:   map[string]int64{},
+		}
+		for i := 0; i < propElems; i++ {
+			env.vars["i"] = int64(i)
+			wantI := env.evalI(ie)
+			wantF := env.evalF(fe)
+			if iout[i] != wantI {
+				t.Fatalf("trial %d (hint %v) i=%d: int = %d, want %d\nexpr: %#v",
+					trial, hint, i, iout[i], wantI, ie)
+			}
+			if math.Float64bits(fout[i]) != math.Float64bits(wantF) {
+				t.Fatalf("trial %d (hint %v) i=%d: float = %v, want %v\nexpr: %#v",
+					trial, hint, i, fout[i], wantF, fe)
+			}
+		}
+	}
+}
+
+// TestNegativeStrideStream checks descending-index streaming (the back
+// substitution pattern of the CFD solvers) end to end.
+func TestNegativeStrideStream(t *testing.T) {
+	const n = 96
+	prog := &loopir.Program{
+		Name: "revcopy",
+		Arrays: []loopir.Array{
+			{Name: "src", Kind: loopir.F64, Elems: n},
+			{Name: "dst", Kind: loopir.F64, Elems: n},
+		},
+		Funcs: []*loopir.Func{{
+			Name:     "rev",
+			Parallel: true,
+			Body: []loopir.Stmt{
+				loopir.For{Var: "i", Lo: loopir.V("lo"), Hi: loopir.V("hi"), Body: []loopir.Stmt{
+					loopir.FStore{Array: "dst", Index: loopir.ISub(loopir.I(n-1), loopir.V("i")),
+						Val: loopir.At("src", loopir.ISub(loopir.I(n-1), loopir.V("i")))},
+				}},
+			},
+		}},
+	}
+	m, res := buildAndCompile(t, prog, 2, DefaultOptions())
+	src := arrayBase(t, m, "revcopy", "src")
+	for i := 0; i < n; i++ {
+		m.Memory().WriteF64(src+uint64(8*i), float64(i)+0.5)
+	}
+	rt, _ := openmp.NewRuntime(m, 2)
+	if err := rt.ParallelFor(res.Funcs["rev"].Fn, n, nil); err != nil {
+		t.Fatal(err)
+	}
+	dst := arrayBase(t, m, "revcopy", "dst")
+	for i := 0; i < n; i++ {
+		if got := m.Memory().ReadF64(dst + uint64(8*i)); got != float64(i)+0.5 {
+			t.Fatalf("dst[%d] = %v", i, got)
+		}
+	}
+	// The negative-stride stream must still be prefetched (descending).
+	li := res.Funcs["rev"].Loops[0]
+	if len(li.PrefetchPCs) == 0 {
+		t.Fatal("no steady prefetches on negative-stride streams")
+	}
+	img := m.Image()
+	for pc := range li.PrefetchPCs {
+		// The AddI computing the prefetch target must subtract.
+		if in := img.Fetch(pc - 1); in.Op == ia64.OpAddI && in.Imm >= 0 {
+			t.Fatalf("negative-stride prefetch offset = %d, want negative", in.Imm)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package core is the public surface of the COBRA reproduction: it
+// re-exports the types a downstream user needs to attach the runtime
+// optimizer to a simulated machine, build workloads, and run the paper's
+// experiments, without importing the individual subsystem packages.
+//
+// The smallest complete program:
+//
+//	w := core.Daxpy(core.DaxpyParams{WorkingSetBytes: 128 << 10, OuterReps: 100})
+//	bc := core.SMPConfig(4)
+//	cfg := core.DefaultCobraConfig(core.StrategyAdaptive)
+//	bc.Cobra = &cfg
+//	inst, err := core.Build(w, bc)
+//	if err != nil { ... }
+//	m, err := inst.Measure()
+//	fmt.Println(m.Cycles, m.Cobra.PatchesApplied)
+package core
+
+import (
+	"repro/internal/cobra"
+	"repro/internal/experiment"
+	"repro/internal/npb"
+	"repro/internal/workload"
+)
+
+// Strategy selects the runtime optimization COBRA applies.
+type Strategy = cobra.Strategy
+
+// The available strategies.
+const (
+	StrategyOff        = cobra.StrategyOff
+	StrategyNoprefetch = cobra.StrategyNoprefetch
+	StrategyExcl       = cobra.StrategyExcl
+	StrategyAdaptive   = cobra.StrategyAdaptive
+)
+
+// CobraConfig tunes the runtime optimizer.
+type CobraConfig = cobra.Config
+
+// DefaultCobraConfig returns the evaluation configuration for a strategy.
+func DefaultCobraConfig(s Strategy) CobraConfig { return cobra.DefaultConfig(s) }
+
+// CobraStats summarizes a runtime's monitoring and patching activity.
+type CobraStats = cobra.Stats
+
+// Workload is a runnable benchmark program.
+type Workload = workload.Workload
+
+// BuildConfig assembles a machine + compiler + optional COBRA stack.
+type BuildConfig = workload.BuildConfig
+
+// Instance is a built workload ready to run.
+type Instance = workload.Instance
+
+// Measurement is the outcome of one run.
+type Measurement = workload.Measurement
+
+// DaxpyParams parameterizes the paper's Figure 1 kernel.
+type DaxpyParams = workload.DaxpyParams
+
+// Variant selects a static binary rewrite (the Figure 3 methodology).
+type Variant = workload.Variant
+
+// The static variants.
+const (
+	VariantPrefetch   = workload.VariantPrefetch
+	VariantNoPrefetch = workload.VariantNoPrefetch
+	VariantExcl       = workload.VariantExcl
+	VariantExclAll    = workload.VariantExclAll
+)
+
+// SMPConfig builds the 4-way-SMP-style configuration with the given
+// thread count.
+func SMPConfig(threads int) BuildConfig { return workload.SMPConfig(threads) }
+
+// NUMAConfig builds the Altix-style cc-NUMA configuration.
+func NUMAConfig(threads int) BuildConfig { return workload.NUMAConfig(threads) }
+
+// Daxpy builds the OpenMP DAXPY workload of Figure 1.
+func Daxpy(p DaxpyParams) *Workload { return workload.Daxpy(p) }
+
+// NPB builds one of the NAS Parallel Benchmarks (bt, sp, lu, ft, mg, cg,
+// ep, is).
+func NPB(name string, class NPBClass, iterations int) (*Workload, error) {
+	return npb.Build(name, npb.Params{Class: class, Iterations: iterations})
+}
+
+// NPBClass scales an NPB instance.
+type NPBClass = npb.Class
+
+// The available classes.
+const (
+	ClassT = npb.ClassT // tiny (tests)
+	ClassS = npb.ClassS // the paper's class S regime
+)
+
+// Build assembles a workload instance.
+func Build(w *Workload, bc BuildConfig) (*Instance, error) { return workload.Build(w, bc) }
+
+// ApplyVariant statically rewrites a built instance's binary.
+func ApplyVariant(inst *Instance, v Variant) (int, error) { return workload.ApplyVariant(inst, v) }
+
+// MachineKind selects an evaluation platform.
+type MachineKind = experiment.MachineKind
+
+// The paper's two platforms.
+const (
+	SMP4   = experiment.SMP4
+	Altix8 = experiment.Altix8
+)
+
+// Figure3 regenerates the paper's Figure 3 panel ('a' or 'b').
+func Figure3(panel byte, scale experiment.DaxpyScale) ([]experiment.DaxpyCell, error) {
+	return experiment.Figure3(panel, scale)
+}
+
+// Table1 regenerates the paper's Table 1.
+func Table1(class NPBClass) ([]experiment.Table1Row, error) { return experiment.Table1(class) }
+
+// RunNPB regenerates the data behind Figures 5-7 for one platform.
+func RunNPB(machine MachineKind, class NPBClass, benches []string) (*experiment.NPBResult, error) {
+	return experiment.RunNPB(machine, class, benches)
+}

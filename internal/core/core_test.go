@@ -1,0 +1,50 @@
+package core
+
+import "testing"
+
+func TestQuickstartFlow(t *testing.T) {
+	w := Daxpy(DaxpyParams{WorkingSetBytes: 128 << 10, OuterReps: 30})
+	bc := SMPConfig(4)
+	cfg := DefaultCobraConfig(StrategyAdaptive)
+	bc.Cobra = &cfg
+	inst, err := Build(w, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := inst.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles <= 0 || m.Cobra.SamplesSeen == 0 {
+		t.Fatalf("measurement = %+v", m)
+	}
+}
+
+func TestNPBFacade(t *testing.T) {
+	w, err := NPB("cg", ClassT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Build(w, NUMAConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantFacade(t *testing.T) {
+	w := Daxpy(DaxpyParams{WorkingSetBytes: 32 << 10, OuterReps: 2})
+	inst, err := Build(w, SMPConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ApplyVariant(inst, VariantNoPrefetch)
+	if err != nil || n == 0 {
+		t.Fatalf("ApplyVariant = %d, %v", n, err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

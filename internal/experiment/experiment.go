@@ -1,0 +1,328 @@
+// Package experiment assembles the paper's experiments: each public
+// function regenerates the data behind one table or figure of the
+// evaluation (§5), returning structured rows the report package renders in
+// the paper's format.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/cobra"
+	"repro/internal/npb"
+	"repro/internal/workload"
+)
+
+// MachineKind selects one of the paper's two platforms.
+type MachineKind uint8
+
+const (
+	// SMP4 is the 4-processor Itanium 2 server (front-side bus, MESI).
+	SMP4 MachineKind = iota
+	// Altix8 is the SGI Altix cc-NUMA system, 8 processors in 2-CPU nodes.
+	Altix8
+)
+
+func (m MachineKind) String() string {
+	if m == SMP4 {
+		return "4-way SMP"
+	}
+	return "SGI Altix cc-NUMA"
+}
+
+// Threads returns the thread count the paper uses on each platform.
+func (m MachineKind) Threads() int {
+	if m == SMP4 {
+		return 4
+	}
+	return 8
+}
+
+// Config builds the workload.BuildConfig for the platform.
+func (m MachineKind) config() workload.BuildConfig {
+	if m == SMP4 {
+		return workload.SMPConfig(m.Threads())
+	}
+	return workload.NUMAConfig(m.Threads())
+}
+
+// Strategy labels the three prefetch strategies of §5.2.
+type StrategyLabel string
+
+const (
+	Baseline   StrategyLabel = "prefetch"
+	NoPrefetch StrategyLabel = "noprefetch"
+	Excl       StrategyLabel = "prefetch.excl"
+)
+
+// Strategies is the reporting order of the paper's figures.
+var Strategies = []StrategyLabel{Baseline, NoPrefetch, Excl}
+
+// cobraFor returns the COBRA configuration implementing a strategy at run
+// time (nil for the baseline, which runs unmonitored). The DEAR coherent
+// threshold is platform-specific, exactly as §4 derives it from measured
+// latencies: above the memory latency of the machine, so only loads served
+// by another CPU's cache qualify. On the Altix, remote *memory* loads
+// reach ~385 cycles, so the coherent filter must sit above that.
+func cobraFor(s StrategyLabel, m MachineKind) *cobra.Config {
+	var c cobra.Config
+	switch s {
+	case NoPrefetch:
+		c = cobra.DefaultConfig(cobra.StrategyNoprefetch)
+	case Excl:
+		c = cobra.DefaultConfig(cobra.StrategyExcl)
+	default:
+		return nil
+	}
+	if m == Altix8 {
+		c.CoherentLatency = 420
+	}
+	return &c
+}
+
+// ---- Figure 3: DAXPY kernel ----
+
+// DaxpyCell is one bar of Figure 3: a (threads, variant) pair at one
+// working-set size, normalized to the single-thread prefetch baseline of
+// that size.
+type DaxpyCell struct {
+	WSBytes    int64
+	Threads    int
+	Variant    workload.Variant
+	Cycles     int64
+	Normalized float64 // vs the 1-thread prefetch run at this working set
+}
+
+// DaxpyScale controls Figure 3's cost.
+type DaxpyScale struct {
+	WorkingSets []int64
+	Threads     []int
+	// RepsFor returns the outer repetition count for a working set.
+	RepsFor func(ws int64) int
+}
+
+// DefaultDaxpyScale reproduces Figure 3's sweep (repetitions scaled down
+// from the paper's 10^6; all reported numbers are ratios).
+func DefaultDaxpyScale() DaxpyScale {
+	return DaxpyScale{
+		WorkingSets: []int64{128 << 10, 512 << 10, 2 << 20},
+		Threads:     []int{1, 2, 4},
+		RepsFor: func(ws int64) int {
+			if ws >= 2<<20 {
+				return 12
+			}
+			return 120
+		},
+	}
+}
+
+// QuickDaxpyScale is a cheap variant for tests.
+func QuickDaxpyScale() DaxpyScale {
+	return DaxpyScale{
+		WorkingSets: []int64{128 << 10},
+		Threads:     []int{1, 2},
+		RepsFor:     func(int64) int { return 24 },
+	}
+}
+
+// runDaxpy measures one Figure 3 cell.
+func runDaxpy(ws int64, threads, reps int, v workload.Variant) (workload.Measurement, error) {
+	w := workload.Daxpy(workload.DaxpyParams{WorkingSetBytes: ws, OuterReps: reps})
+	bc := workload.SMPConfig(threads)
+	inst, err := workload.Build(w, bc)
+	if err != nil {
+		return workload.Measurement{}, err
+	}
+	if _, err := workload.ApplyVariant(inst, v); err != nil {
+		return workload.Measurement{}, err
+	}
+	return inst.Measure()
+}
+
+// Figure3 regenerates Figure 3(a) (prefetch vs noprefetch) or 3(b)
+// (prefetch vs prefetch.excl): normalized DAXPY execution time across
+// working sets and thread counts on the 4-way SMP. The variants are
+// produced by static binary rewriting of the compiled prefetch binary, as
+// in the paper.
+func Figure3(panel byte, scale DaxpyScale) ([]DaxpyCell, error) {
+	var alt workload.Variant
+	switch panel {
+	case 'a':
+		alt = workload.VariantNoPrefetch
+	case 'b':
+		alt = workload.VariantExcl
+	default:
+		return nil, fmt.Errorf("experiment: figure 3 panel %q", panel)
+	}
+	var cells []DaxpyCell
+	for _, ws := range scale.WorkingSets {
+		reps := scale.RepsFor(ws)
+		base1, err := runDaxpy(ws, 1, reps, workload.VariantPrefetch)
+		if err != nil {
+			return nil, err
+		}
+		for _, th := range scale.Threads {
+			for _, v := range []workload.Variant{workload.VariantPrefetch, alt} {
+				m, err := runDaxpy(ws, th, reps, v)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, DaxpyCell{
+					WSBytes: ws, Threads: th, Variant: v, Cycles: m.Cycles,
+					Normalized: float64(m.Cycles) / float64(base1.Cycles),
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// ---- Table 1: static counts ----
+
+// Table1Row is one row of Table 1: static instruction statistics of a
+// compiled NPB binary.
+type Table1Row struct {
+	Bench   string
+	Lfetch  int
+	BrCtop  int
+	BrCloop int
+	BrWtop  int
+}
+
+// Table1 compiles every NPB benchmark and counts the prefetches and loop
+// branches in the generated binaries.
+func Table1(class npb.Class) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, name := range npb.Names {
+		w, err := npb.Build(name, npb.Params{Class: class})
+		if err != nil {
+			return nil, err
+		}
+		inst, err := workload.Build(w, workload.SMPConfig(1))
+		if err != nil {
+			return nil, err
+		}
+		c := inst.Ctx.Res.StaticCounts(inst.Ctx.M.Image())
+		rows = append(rows, Table1Row{
+			Bench: name, Lfetch: c.Lfetch,
+			BrCtop: c.BrCtop, BrCloop: c.BrCloop, BrWtop: c.BrWtop,
+		})
+	}
+	return rows, nil
+}
+
+// ---- Figures 5, 6, 7: NPB under COBRA ----
+
+// NPBCell is one benchmark × strategy measurement.
+type NPBCell struct {
+	Bench    string
+	Strategy StrategyLabel
+	workload.Measurement
+}
+
+// NPBResult is a full platform sweep: the data behind Figures 5(x), 6(x)
+// and 7(x) for one machine.
+type NPBResult struct {
+	Machine MachineKind
+	Threads int
+	Cells   []NPBCell
+}
+
+// RunNPB measures every result benchmark under the three strategies on a
+// platform. The baseline runs without COBRA; noprefetch and prefetch.excl
+// run under COBRA with the corresponding strategy, so the reported numbers
+// include all monitoring and optimization overhead, as in the paper.
+func RunNPB(machine MachineKind, class npb.Class, benches []string) (*NPBResult, error) {
+	if benches == nil {
+		benches = npb.ResultNames
+	}
+	res := &NPBResult{Machine: machine, Threads: machine.Threads()}
+	for _, name := range benches {
+		for _, s := range Strategies {
+			w, err := npb.Build(name, npb.Params{Class: class})
+			if err != nil {
+				return nil, err
+			}
+			bc := machine.config()
+			bc.Cobra = cobraFor(s, machine)
+			inst, err := workload.Build(w, bc)
+			if err != nil {
+				return nil, err
+			}
+			m, err := inst.Measure()
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, s, err)
+			}
+			res.Cells = append(res.Cells, NPBCell{Bench: name, Strategy: s, Measurement: m})
+		}
+	}
+	return res, nil
+}
+
+// Cell returns the measurement for (bench, strategy).
+func (r *NPBResult) Cell(bench string, s StrategyLabel) (NPBCell, bool) {
+	for _, c := range r.Cells {
+		if c.Bench == bench && c.Strategy == s {
+			return c, true
+		}
+	}
+	return NPBCell{}, false
+}
+
+// Benches lists the benchmarks present, in insertion order.
+func (r *NPBResult) Benches() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Bench] {
+			seen[c.Bench] = true
+			out = append(out, c.Bench)
+		}
+	}
+	return out
+}
+
+// Speedup returns execution-time speedup of strategy s over the baseline
+// for bench (Figure 5's metric: > 1 is faster).
+func (r *NPBResult) Speedup(bench string, s StrategyLabel) float64 {
+	base, ok1 := r.Cell(bench, Baseline)
+	c, ok2 := r.Cell(bench, s)
+	if !ok1 || !ok2 || c.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(c.Cycles)
+}
+
+// NormL3 returns strategy s's L3 misses normalized to baseline (Figure 6).
+func (r *NPBResult) NormL3(bench string, s StrategyLabel) float64 {
+	base, ok1 := r.Cell(bench, Baseline)
+	c, ok2 := r.Cell(bench, s)
+	if !ok1 || !ok2 || base.Mem.L3Misses == 0 {
+		return 0
+	}
+	return float64(c.Mem.L3Misses) / float64(base.Mem.L3Misses)
+}
+
+// NormBus returns strategy s's system memory transactions normalized to
+// baseline (Figure 7).
+func (r *NPBResult) NormBus(bench string, s StrategyLabel) float64 {
+	base, ok1 := r.Cell(bench, Baseline)
+	c, ok2 := r.Cell(bench, s)
+	if !ok1 || !ok2 || base.Mem.BusMemory == 0 {
+		return 0
+	}
+	return float64(c.Mem.BusMemory) / float64(base.Mem.BusMemory)
+}
+
+// Average returns the arithmetic mean of metric over the benchmarks (the
+// "avg" bar of each figure).
+func (r *NPBResult) Average(metric func(bench string, s StrategyLabel) float64, s StrategyLabel) float64 {
+	benches := r.Benches()
+	if len(benches) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range benches {
+		sum += metric(b, s)
+	}
+	return sum / float64(len(benches))
+}

@@ -1,0 +1,114 @@
+package ia64
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Disasm renders one instruction in an Itanium-flavoured assembly syntax,
+// e.g. "(p16) lfetch.nt1 [r43]" or "br.ctop .loop".
+func Disasm(in Instr) string {
+	var b strings.Builder
+	if in.QP != 0 {
+		fmt.Fprintf(&b, "(p%d) ", in.QP)
+	}
+	switch in.Op {
+	case OpNop:
+		b.WriteString("nop")
+	case OpAdd:
+		fmt.Fprintf(&b, "add r%d=r%d,r%d", in.R1, in.R2, in.R3)
+	case OpSub:
+		fmt.Fprintf(&b, "sub r%d=r%d,r%d", in.R1, in.R2, in.R3)
+	case OpAddI:
+		fmt.Fprintf(&b, "add r%d=%d,r%d", in.R1, in.Imm, in.R2)
+	case OpAnd:
+		fmt.Fprintf(&b, "and r%d=r%d,r%d", in.R1, in.R2, in.R3)
+	case OpOr:
+		fmt.Fprintf(&b, "or r%d=r%d,r%d", in.R1, in.R2, in.R3)
+	case OpXor:
+		fmt.Fprintf(&b, "xor r%d=r%d,r%d", in.R1, in.R2, in.R3)
+	case OpShlI:
+		fmt.Fprintf(&b, "shl r%d=r%d,%d", in.R1, in.R2, in.Imm)
+	case OpShrI:
+		fmt.Fprintf(&b, "shr r%d=r%d,%d", in.R1, in.R2, in.Imm)
+	case OpMovI:
+		fmt.Fprintf(&b, "mov r%d=%d", in.R1, in.Imm)
+	case OpMul:
+		fmt.Fprintf(&b, "xma.l r%d=r%d,r%d", in.R1, in.R2, in.R3)
+	case OpCmp:
+		fmt.Fprintf(&b, "cmp.%s p%d,p%d=r%d,r%d", in.Rel, in.P1, in.P2, in.R2, in.R3)
+	case OpCmpI:
+		fmt.Fprintf(&b, "cmp.%s p%d,p%d=r%d,%d", in.Rel, in.P1, in.P2, in.R2, in.Imm)
+	case OpLd:
+		fmt.Fprintf(&b, "ld8%s r%d=[r%d]", in.Hint, in.R1, in.R2)
+	case OpSt:
+		fmt.Fprintf(&b, "st8 [r%d]=r%d", in.R2, in.R3)
+	case OpLdf:
+		fmt.Fprintf(&b, "ldfd r%d=[r%d]", in.R1, in.R2)
+	case OpStf:
+		fmt.Fprintf(&b, "stfd [r%d]=f%d", in.R2, in.R3)
+	case OpLfetch:
+		fmt.Fprintf(&b, "lfetch%s [r%d]", in.Hint, in.R2)
+	case OpFma:
+		fmt.Fprintf(&b, "fma.d f%d=f%d,f%d,f%d", in.R1, in.R2, in.R3, uint8(in.Imm))
+	case OpFAdd:
+		fmt.Fprintf(&b, "fadd f%d=f%d,f%d", in.R1, in.R2, in.R3)
+	case OpFSub:
+		fmt.Fprintf(&b, "fsub f%d=f%d,f%d", in.R1, in.R2, in.R3)
+	case OpFMul:
+		fmt.Fprintf(&b, "fmul f%d=f%d,f%d", in.R1, in.R2, in.R3)
+	case OpFDiv:
+		fmt.Fprintf(&b, "fdiv f%d=f%d,f%d", in.R1, in.R2, in.R3)
+	case OpFMovI:
+		fmt.Fprintf(&b, "fmov f%d=%g", in.R1, math.Float64frombits(uint64(in.Imm)))
+	case OpFMov:
+		fmt.Fprintf(&b, "fmov f%d=f%d", in.R1, in.R2)
+	case OpFNeg:
+		fmt.Fprintf(&b, "fneg f%d=f%d", in.R1, in.R2)
+	case OpFCmp:
+		fmt.Fprintf(&b, "fcmp.%s p%d,p%d=f%d,f%d", in.Rel, in.P1, in.P2, in.R2, in.R3)
+	case OpFCvt:
+		fmt.Fprintf(&b, "fcvt f%d=r%d", in.R1, in.R2)
+	case OpFInt:
+		fmt.Fprintf(&b, "fint r%d=f%d", in.R1, in.R2)
+	case OpBr:
+		fmt.Fprintf(&b, "br.%s %d", in.Br, in.Imm)
+	case OpMovToLC:
+		fmt.Fprintf(&b, "mov ar.lc=r%d", in.R2)
+	case OpMovToLCI:
+		fmt.Fprintf(&b, "mov ar.lc=%d", in.Imm)
+	case OpMovToEC:
+		fmt.Fprintf(&b, "mov ar.ec=r%d", in.R2)
+	case OpMovToECI:
+		fmt.Fprintf(&b, "mov ar.ec=%d", in.Imm)
+	case OpMovFromLC:
+		fmt.Fprintf(&b, "mov r%d=ar.lc", in.R1)
+	case OpClrrrb:
+		b.WriteString("clrrrb")
+	case OpHalt:
+		b.WriteString("halt")
+	default:
+		fmt.Fprintf(&b, "%s ?", in.Op)
+	}
+	return b.String()
+}
+
+// DumpFunc writes a disassembly listing of fn to w, three slots per bundle,
+// marking bundle boundaries with braces as Itanium listings do.
+func DumpFunc(w io.Writer, img *Image, fn Func) {
+	fmt.Fprintf(w, "%s: // slots [%d,%d)\n", fn.Name, fn.Entry, fn.End)
+	for pc := fn.Entry; pc < fn.End; pc++ {
+		in := img.Fetch(pc)
+		prefix := "  "
+		if (pc-fn.Entry)%BundleSlots == 0 {
+			prefix = "{ "
+		}
+		suffix := ""
+		if (pc-fn.Entry)%BundleSlots == BundleSlots-1 || pc == fn.End-1 {
+			suffix = " }"
+		}
+		fmt.Fprintf(w, "%s%5d: %s%s\n", prefix, pc, Disasm(in), suffix)
+	}
+}

@@ -1,0 +1,119 @@
+package ia64
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randInstr generates a valid instruction with all fields in range.
+func randInstr(r *rand.Rand) Instr {
+	in := Instr{
+		Op:   Op(r.Intn(int(opCount))),
+		QP:   uint8(r.Intn(NumPR)),
+		R1:   uint8(r.Intn(NumGR)),
+		R2:   uint8(r.Intn(NumGR)),
+		R3:   uint8(r.Intn(NumGR)),
+		P1:   uint8(r.Intn(NumPR)),
+		P2:   uint8(r.Intn(NumPR)),
+		Hint: Hint(r.Intn(int(HintBias) + 1)),
+		Rel:  CmpRel(r.Intn(int(CmpGE) + 1)),
+		Imm:  r.Int63() - r.Int63(),
+	}
+	if in.Op == OpBr {
+		in.Br = BrKind(r.Intn(int(BrRet) + 1))
+	}
+	return in
+}
+
+// Generate implements quick.Generator so testing/quick produces only
+// encodable instructions.
+func (Instr) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randInstr(r))
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	roundTrip := func(in Instr) bool {
+		w0, w1 := Encode(in)
+		got, err := Decode(w0, w1)
+		if err != nil {
+			t.Logf("decode error: %v", err)
+			return false
+		}
+		return got == in
+	}
+	if err := quick.Check(roundTrip, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	in := Instr{Op: OpLfetch, R2: 43, Hint: HintNT1}
+	a0, a1 := Encode(in)
+	b0, b1 := Encode(in)
+	if a0 != b0 || a1 != b1 {
+		t.Fatalf("encoding not deterministic: (%#x,%#x) vs (%#x,%#x)", a0, a1, b0, b1)
+	}
+}
+
+func TestDecodeRejectsInvalidOpcode(t *testing.T) {
+	if _, err := Decode(Word(0xff), 0); err == nil {
+		t.Fatal("Decode accepted invalid opcode 0xff")
+	}
+}
+
+func TestDecodeRejectsInvalidBranchKind(t *testing.T) {
+	w0, w1 := Encode(Instr{Op: OpBr, Br: BrRet})
+	w0 |= Word(0xf) << shiftBr // corrupt branch kind beyond BrRet
+	if _, err := Decode(w0, w1); err == nil {
+		t.Fatal("Decode accepted invalid branch kind")
+	}
+}
+
+func TestHintSurvivesRewrite(t *testing.T) {
+	// The optimizer's core operation: take an lfetch.nt1, flip the hint to
+	// .excl, re-encode, decode. The result must differ only in the hint.
+	orig := Instr{Op: OpLfetch, R2: 43, Hint: HintNT1, QP: 16}
+	patched := orig
+	patched.Hint = HintExcl
+	w0, w1 := Encode(patched)
+	got := MustDecode(w0, w1)
+	if got.Hint != HintExcl {
+		t.Fatalf("hint = %v, want .excl", got.Hint)
+	}
+	got.Hint = HintNT1
+	if got != orig {
+		t.Fatalf("rewrite changed more than the hint: %+v vs %+v", got, orig)
+	}
+}
+
+func TestPredicateAndRegisterFieldBounds(t *testing.T) {
+	// P fields are 6 bits; values 0..63 must round-trip exactly.
+	for p := 0; p < NumPR; p++ {
+		in := Instr{Op: OpCmp, P1: uint8(p), P2: uint8(63 - p)}
+		w0, w1 := Encode(in)
+		got := MustDecode(w0, w1)
+		if got.P1 != in.P1 || got.P2 != in.P2 {
+			t.Fatalf("p%d: got P1=%d P2=%d", p, got.P1, got.P2)
+		}
+	}
+	for r := 0; r < NumGR; r++ {
+		in := Instr{Op: OpAdd, R1: uint8(r), R2: uint8(127 - r), R3: uint8(r / 2)}
+		w0, w1 := Encode(in)
+		got := MustDecode(w0, w1)
+		if got != in {
+			t.Fatalf("r%d: round-trip mismatch %+v", r, got)
+		}
+	}
+}
+
+func TestImmediateExtremes(t *testing.T) {
+	for _, imm := range []int64{0, 1, -1, 1<<62 - 1, -(1 << 62), 9e15} {
+		in := Instr{Op: OpMovI, R1: 5, Imm: imm}
+		w0, w1 := Encode(in)
+		if got := MustDecode(w0, w1); got.Imm != imm {
+			t.Fatalf("imm %d round-tripped to %d", imm, got.Imm)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package ia64
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// BundleSlots is the number of instruction slots per bundle. The compiler
+// pads functions so bundle boundaries fall every three slots; the machine's
+// front end issues at most two bundles per cycle, as on Itanium 2.
+const BundleSlots = 3
+
+// Func describes one function (or outlined OpenMP region, or runtime-
+// generated trace) in an image.
+type Func struct {
+	Name  string
+	Entry int // first slot index
+	End   int // one past the last slot index
+}
+
+// Image is a program binary: a flat array of encoded instruction words plus
+// a function table. The PC of an executing thread is a slot index into the
+// image. Images are mutated at runtime by the COBRA patcher; a generation
+// counter lets per-CPU decode caches detect staleness cheaply.
+//
+// Patching is guarded by a mutex so a concurrent optimization thread can
+// rewrite code while simulated CPUs execute, mirroring the paper's
+// user-mode optimizer sharing the address space of the running program.
+type Image struct {
+	mu    sync.RWMutex
+	words []Word // 2*i and 2*i+1 hold slot i
+	dec   []Instr
+	funcs []Func
+	gen   uint64
+}
+
+// NewImage returns an empty image.
+func NewImage() *Image {
+	return &Image{}
+}
+
+// Len returns the number of instruction slots in the image.
+func (im *Image) Len() int {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	return len(im.dec)
+}
+
+// Generation returns the patch generation counter. It increments on every
+// Patch, so a cached decode tagged with an older generation must re-fetch.
+func (im *Image) Generation() uint64 {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	return im.gen
+}
+
+// Append adds encoded instructions at the end of the image and returns the
+// slot index of the first one.
+func (im *Image) Append(instrs ...Instr) int {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.appendLocked(instrs)
+}
+
+func (im *Image) appendLocked(instrs []Instr) int {
+	start := len(im.dec)
+	for _, in := range instrs {
+		w0, w1 := Encode(in)
+		im.words = append(im.words, w0, w1)
+		im.dec = append(im.dec, in)
+	}
+	im.gen++ // decode caches must observe the new slots
+	return start
+}
+
+// AddFunc registers a function covering [entry, end).
+func (im *Image) AddFunc(name string, entry, end int) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	im.funcs = append(im.funcs, Func{Name: name, Entry: entry, End: end})
+}
+
+// Funcs returns a copy of the function table in entry order.
+func (im *Image) Funcs() []Func {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	fs := make([]Func, len(im.funcs))
+	copy(fs, im.funcs)
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Entry < fs[j].Entry })
+	return fs
+}
+
+// LookupFunc returns the function named name.
+func (im *Image) LookupFunc(name string) (Func, bool) {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	for _, f := range im.funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Func{}, false
+}
+
+// FuncAt returns the function containing slot pc.
+func (im *Image) FuncAt(pc int) (Func, bool) {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	for _, f := range im.funcs {
+		if pc >= f.Entry && pc < f.End {
+			return f, true
+		}
+	}
+	return Func{}, false
+}
+
+// Fetch returns the decoded instruction at slot pc.
+func (im *Image) Fetch(pc int) Instr {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	return im.dec[pc]
+}
+
+// FetchRange decodes slots [lo, hi) into dst, which is grown as needed, and
+// returns it. It is the bulk fetch used to fill decode caches.
+func (im *Image) FetchRange(lo, hi int, dst []Instr) []Instr {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	if hi > len(im.dec) {
+		hi = len(im.dec)
+	}
+	dst = append(dst[:0], im.dec[lo:hi]...)
+	return dst
+}
+
+// Words returns the raw encoded word pair of slot pc — the bytes a binary
+// patcher reads before rewriting.
+func (im *Image) Words(pc int) (Word, Word) {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	return im.words[2*pc], im.words[2*pc+1]
+}
+
+// Patch rewrites slot pc with the encoding of in. The write is validated by
+// decoding the new words, the generation counter is bumped, and the previous
+// instruction is returned so the caller can undo the patch.
+func (im *Image) Patch(pc int, in Instr) (Instr, error) {
+	w0, w1 := Encode(in)
+	chk, err := Decode(w0, w1)
+	if err != nil {
+		return Instr{}, fmt.Errorf("ia64: refusing unencodable patch at slot %d: %w", pc, err)
+	}
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if pc < 0 || pc >= len(im.dec) {
+		return Instr{}, fmt.Errorf("ia64: patch slot %d out of range [0,%d)", pc, len(im.dec))
+	}
+	old := im.dec[pc]
+	im.words[2*pc], im.words[2*pc+1] = w0, w1
+	im.dec[pc] = chk
+	im.gen++
+	return old, nil
+}
+
+// PatchWords rewrites slot pc with raw words, validating them first. It is
+// the lowest-level patch primitive (what a real binary patcher does).
+func (im *Image) PatchWords(pc int, w0, w1 Word) (Instr, error) {
+	in, err := Decode(w0, w1)
+	if err != nil {
+		return Instr{}, fmt.Errorf("ia64: invalid patch words at slot %d: %w", pc, err)
+	}
+	return im.Patch(pc, in)
+}
+
+// OpCount counts instructions in [lo, hi) matching keep. It backs the
+// paper's Table 1 static statistics.
+func (im *Image) OpCount(lo, hi int, keep func(Instr) bool) int {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	if hi > len(im.dec) {
+		hi = len(im.dec)
+	}
+	n := 0
+	for _, in := range im.dec[lo:hi] {
+		if keep(in) {
+			n++
+		}
+	}
+	return n
+}
+
+// StaticCounts holds the per-binary static instruction statistics reported
+// in Table 1 of the paper.
+type StaticCounts struct {
+	Lfetch  int // data prefetches
+	BrCtop  int // software-pipelined counted loops
+	BrCloop int // counted loops
+	BrWtop  int // software-pipelined while loops
+}
+
+// CountStatic computes Table 1 statistics over the whole image.
+func (im *Image) CountStatic() StaticCounts {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	var c StaticCounts
+	for _, in := range im.dec {
+		switch {
+		case in.Op == OpLfetch:
+			c.Lfetch++
+		case in.Op == OpBr && in.Br == BrCtop:
+			c.BrCtop++
+		case in.Op == OpBr && in.Br == BrCloop:
+			c.BrCloop++
+		case in.Op == OpBr && in.Br == BrWtop:
+			c.BrWtop++
+		}
+	}
+	return c
+}

@@ -1,0 +1,226 @@
+package loopir
+
+import "fmt"
+
+// AffineForm is the decomposition of an index expression with respect to a
+// loop variable: index = Stride*var + Base, with Base invariant in the
+// loop. The compiler uses it to turn array references into incrementing
+// cursor registers and to place prefetch streams.
+type AffineForm struct {
+	Stride int64
+	Base   IntExpr // loop-invariant remainder (may be IConst(0))
+}
+
+// Affine decomposes e with respect to loopVar. ok is false when e is not
+// affine in loopVar (e.g. a gather through an index array) or when the
+// residual base cannot be shown loop-invariant against assigned, the set of
+// names assigned inside the loop body.
+func Affine(e IntExpr, loopVar string, assigned map[string]bool) (AffineForm, bool) {
+	switch ex := e.(type) {
+	case IConst:
+		return AffineForm{Stride: 0, Base: ex}, true
+	case IVar:
+		if string(ex) == loopVar {
+			return AffineForm{Stride: 1, Base: IConst(0)}, true
+		}
+		if assigned[string(ex)] {
+			return AffineForm{}, false
+		}
+		return AffineForm{Stride: 0, Base: ex}, true
+	case IBin:
+		switch ex.Op {
+		case Add, Sub:
+			a, okA := Affine(ex.A, loopVar, assigned)
+			b, okB := Affine(ex.B, loopVar, assigned)
+			if !okA || !okB {
+				return AffineForm{}, false
+			}
+			if ex.Op == Add {
+				return AffineForm{Stride: a.Stride + b.Stride, Base: addExpr(a.Base, b.Base)}, true
+			}
+			return AffineForm{Stride: a.Stride - b.Stride, Base: subExpr(a.Base, b.Base)}, true
+		case Mul:
+			a, okA := Affine(ex.A, loopVar, assigned)
+			b, okB := Affine(ex.B, loopVar, assigned)
+			if !okA || !okB {
+				return AffineForm{}, false
+			}
+			// Stride scaling requires a compile-time constant factor.
+			if ca, isConst := constOf(a); isConst {
+				return AffineForm{Stride: ca * b.Stride, Base: scaleExpr(b.Base, ca)}, true
+			}
+			if cb, isConst := constOf(b); isConst {
+				return AffineForm{Stride: a.Stride * cb, Base: scaleExpr(a.Base, cb)}, true
+			}
+			if a.Stride == 0 && b.Stride == 0 {
+				return AffineForm{Stride: 0, Base: e}, true // invariant product
+			}
+			return AffineForm{}, false
+		case Shl:
+			a, okA := Affine(ex.A, loopVar, assigned)
+			if !okA {
+				return AffineForm{}, false
+			}
+			if c, isConst := exprConst(ex.B); isConst {
+				return AffineForm{Stride: a.Stride << uint(c), Base: scaleExpr(a.Base, 1<<uint(c))}, true
+			}
+			return AffineForm{}, false
+		default:
+			// Bitwise forms: invariant only if both sides are invariant.
+			a, okA := Affine(ex.A, loopVar, assigned)
+			b, okB := Affine(ex.B, loopVar, assigned)
+			if okA && okB && a.Stride == 0 && b.Stride == 0 {
+				return AffineForm{Stride: 0, Base: e}, true
+			}
+			return AffineForm{}, false
+		}
+	case ILoad:
+		// A gather: never affine, and (conservatively) never invariant.
+		return AffineForm{}, false
+	}
+	return AffineForm{}, false
+}
+
+// constOf reports whether a form is a plain compile-time constant.
+func constOf(a AffineForm) (int64, bool) {
+	if a.Stride != 0 {
+		return 0, false
+	}
+	return exprConst(a.Base)
+}
+
+// exprConst folds e when it is a constant expression.
+func exprConst(e IntExpr) (int64, bool) {
+	switch ex := e.(type) {
+	case IConst:
+		return int64(ex), true
+	case IBin:
+		a, okA := exprConst(ex.A)
+		b, okB := exprConst(ex.B)
+		if !okA || !okB {
+			return 0, false
+		}
+		switch ex.Op {
+		case Add:
+			return a + b, true
+		case Sub:
+			return a - b, true
+		case Mul:
+			return a * b, true
+		case And:
+			return a & b, true
+		case Or:
+			return a | b, true
+		case Xor:
+			return a ^ b, true
+		case Shl:
+			return a << uint(b&63), true
+		case Shr:
+			return a >> uint(b&63), true
+		}
+	}
+	return 0, false
+}
+
+func addExpr(a, b IntExpr) IntExpr {
+	if ca, ok := exprConst(a); ok {
+		if cb, ok := exprConst(b); ok {
+			return IConst(ca + cb)
+		}
+		if ca == 0 {
+			return b
+		}
+	}
+	if cb, ok := exprConst(b); ok && cb == 0 {
+		return a
+	}
+	return IBin{Op: Add, A: a, B: b}
+}
+
+func subExpr(a, b IntExpr) IntExpr {
+	if ca, ok := exprConst(a); ok {
+		if cb, ok := exprConst(b); ok {
+			return IConst(ca - cb)
+		}
+	}
+	if cb, ok := exprConst(b); ok && cb == 0 {
+		return a
+	}
+	return IBin{Op: Sub, A: a, B: b}
+}
+
+func scaleExpr(a IntExpr, c int64) IntExpr {
+	if ca, ok := exprConst(a); ok {
+		return IConst(ca * c)
+	}
+	if c == 1 {
+		return a
+	}
+	// Distribute over additive forms so constant offsets remain additive:
+	// (x+k)*c -> x*c + k*c. This is what lets stencil references u[e-1],
+	// u[e], u[e+1] share one cursor with small constant offsets.
+	if b, ok := a.(IBin); ok && (b.Op == Add || b.Op == Sub) {
+		return IBin{Op: b.Op, A: scaleExpr(b.A, c), B: scaleExpr(b.B, c)}
+	}
+	return IBin{Op: Mul, A: a, B: IConst(c)}
+}
+
+// AssignedVars collects the names assigned by SetI/SetF/For statements in
+// stmts (recursively) — the set against which loop invariance is judged.
+func AssignedVars(stmts []Stmt) map[string]bool {
+	out := map[string]bool{}
+	var walk func([]Stmt)
+	walk = func(ss []Stmt) {
+		for _, s := range ss {
+			switch st := s.(type) {
+			case SetI:
+				out[st.Name] = true
+			case SetF:
+				out[st.Name] = true
+			case For:
+				out[st.Var] = true
+				walk(st.Body)
+			case While:
+				walk(st.Body)
+			}
+		}
+	}
+	walk(stmts)
+	return out
+}
+
+// SplitConst separates an additive constant from e: e == rest + c.
+func SplitConst(e IntExpr) (rest IntExpr, c int64) {
+	switch ex := e.(type) {
+	case IConst:
+		return IConst(0), int64(ex)
+	case IBin:
+		switch ex.Op {
+		case Add:
+			ra, ca := SplitConst(ex.A)
+			rb, cb := SplitConst(ex.B)
+			return addExpr(ra, rb), ca + cb
+		case Sub:
+			ra, ca := SplitConst(ex.A)
+			rb, cb := SplitConst(ex.B)
+			return subExpr(ra, rb), ca - cb
+		}
+	}
+	return e, 0
+}
+
+// Key renders a canonical string for an integer expression, used to
+// deduplicate address streams.
+func Key(e IntExpr) string {
+	switch ex := e.(type) {
+	case IConst:
+		return fmt.Sprintf("%d", int64(ex))
+	case IVar:
+		return string(ex)
+	case IBin:
+		return "(" + Key(ex.A) + ex.Op.String() + Key(ex.B) + ")"
+	case ILoad:
+		return ex.Array + "[" + Key(ex.Index) + "]"
+	}
+	return "?"
+}

@@ -1,0 +1,196 @@
+// Package machine executes IA-64-like binaries on a simulated Itanium 2
+// multiprocessor: each CPU is an in-order functional+timing model running
+// against the coherent memory system of internal/mem, with a per-CPU
+// performance monitoring unit (internal/hpm) fed by every retired
+// instruction and memory transaction.
+//
+// The multiprocessor advances deterministically: a causal engine always
+// steps the CPU with the smallest local cycle count, so coherence
+// interactions between CPUs are ordered identically on every run and every
+// reported figure is exactly reproducible.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/hpm"
+	"repro/internal/ia64"
+	"repro/internal/mem"
+)
+
+// Config describes one simulated machine.
+type Config struct {
+	Mem mem.Config
+
+	// SampleOverhead is charged to a CPU's cycle clock each time its PMU
+	// delivers a sample, modelling the perfmon interrupt plus COBRA's
+	// monitoring-thread copy into the User Sampling Buffer.
+	SampleOverhead int64
+
+	// MaxInstrPerRun bounds a single RunAll invocation; exceeded means a
+	// runaway loop in generated code (0 = default of 4e9).
+	MaxInstrPerRun int64
+}
+
+// DefaultConfig returns a machine matching the paper's 4-way SMP server.
+func DefaultConfig(numCPUs int) Config {
+	return Config{
+		Mem:            mem.Itanium2SMP(numCPUs),
+		SampleOverhead: 200,
+	}
+}
+
+// Timer is a recurring simulated-time callback — the mechanism by which the
+// COBRA optimization thread is scheduled. Fn runs when global simulated
+// time reaches NextAt and returns the next firing time (or a value <= now
+// to cancel).
+type Timer struct {
+	NextAt int64
+	Fn     func(now int64) int64
+}
+
+// Machine is one simulated multiprocessor running one program image.
+type Machine struct {
+	cfg    Config
+	img    *ia64.Image
+	memory *mem.Memory
+	dom    *mem.Domain
+	cpus   []*CPU
+	timers []*Timer
+}
+
+// New builds a machine for cfg executing img.
+func New(cfg Config, img *ia64.Image) (*Machine, error) {
+	if cfg.MaxInstrPerRun == 0 {
+		cfg.MaxInstrPerRun = 4e9
+	}
+	memory := mem.NewMemory(cfg.Mem.MemBytes, cfg.Mem.PageSize)
+	dom, err := mem.NewDomain(cfg.Mem, memory)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, img: img, memory: memory, dom: dom}
+	for i := 0; i < cfg.Mem.NumCPUs; i++ {
+		m.cpus = append(m.cpus, newCPU(m, i))
+	}
+	return m, nil
+}
+
+// Image returns the program image (the binary COBRA patches).
+func (m *Machine) Image() *ia64.Image { return m.img }
+
+// Memory returns the simulated physical memory.
+func (m *Machine) Memory() *mem.Memory { return m.memory }
+
+// Domain returns the coherent memory system.
+func (m *Machine) Domain() *mem.Domain { return m.dom }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumCPUs returns the processor count.
+func (m *Machine) NumCPUs() int { return len(m.cpus) }
+
+// CPU returns processor id.
+func (m *Machine) CPU(id int) *CPU { return m.cpus[id] }
+
+// PMU returns the performance monitoring unit of processor id.
+func (m *Machine) PMU(id int) *hpm.PMU { return m.cpus[id].PMU }
+
+// AddTimer registers a simulated-time callback.
+func (m *Machine) AddTimer(t *Timer) { m.timers = append(m.timers, t) }
+
+// SamplePC returns the current PC of cpu (perfmon.Context).
+func (m *Machine) SamplePC(cpu int) int { return m.cpus[cpu].PC }
+
+// SampleThreadID returns the software thread bound to cpu (perfmon.Context).
+func (m *Machine) SampleThreadID(cpu int) int { return m.cpus[cpu].ThreadID }
+
+// SampleCycle returns cpu's local clock (perfmon.Context).
+func (m *Machine) SampleCycle(cpu int) int64 { return m.cpus[cpu].Cycle }
+
+// ChargeCycles advances cpu's clock by n cycles — the cost of a sampling
+// interrupt and monitoring-thread copy (perfmon.Context).
+func (m *Machine) ChargeCycles(cpu int, n int64) { m.cpus[cpu].Cycle += n }
+
+// GlobalCycle returns the largest per-CPU cycle count — wall-clock time of
+// the simulated machine.
+func (m *Machine) GlobalCycle() int64 {
+	var max int64
+	for _, c := range m.cpus {
+		if c.Cycle > max {
+			max = c.Cycle
+		}
+	}
+	return max
+}
+
+// SyncClocks advances every CPU's clock to at least cycle — the barrier at
+// the end of a parallel region.
+func (m *Machine) SyncClocks(cycle int64) {
+	for _, c := range m.cpus {
+		if c.Cycle < cycle {
+			c.Cycle = cycle
+		}
+	}
+}
+
+// StartThread binds a software thread to a CPU: the register file is
+// prepared by setup, the PC set to entry, and the CPU marked runnable.
+func (m *Machine) StartThread(cpu int, entry int, threadID int, setup func(rf *ia64.RegFile)) {
+	c := m.cpus[cpu]
+	c.RF.Reset()
+	if setup != nil {
+		setup(&c.RF)
+	}
+	c.PC = entry
+	c.ThreadID = threadID
+	c.Halted = false
+}
+
+// RunAll executes the given CPUs until all halt, firing timers in causal
+// order. It returns the number of instructions retired during the run.
+func (m *Machine) RunAll(active []int) (int64, error) {
+	var retired int64
+	for {
+		best := -1
+		var bc int64
+		for _, id := range active {
+			c := m.cpus[id]
+			if c.Halted {
+				continue
+			}
+			if best == -1 || c.Cycle < bc || (c.Cycle == bc && id < best) {
+				best, bc = id, c.Cycle
+			}
+		}
+		if best == -1 {
+			return retired, nil
+		}
+		// Fire any timer due before the next step.
+		for _, t := range m.timers {
+			if t.NextAt > 0 && t.NextAt <= bc {
+				next := t.Fn(bc)
+				if next <= bc {
+					t.NextAt = 0 // cancelled
+				} else {
+					t.NextAt = next
+				}
+			}
+		}
+		n, err := m.cpus[best].stepBundle()
+		if err != nil {
+			return retired, err
+		}
+		retired += n
+		if retired > m.cfg.MaxInstrPerRun {
+			return retired, fmt.Errorf("machine: instruction budget %d exceeded (runaway loop? PC=%d on CPU %d)",
+				m.cfg.MaxInstrPerRun, m.cpus[best].PC, best)
+		}
+	}
+}
+
+// Run executes a single CPU until it halts.
+func (m *Machine) Run(cpu int) (int64, error) {
+	return m.RunAll([]int{cpu})
+}

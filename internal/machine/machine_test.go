@@ -1,0 +1,398 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/hpm"
+	"repro/internal/ia64"
+	"repro/internal/mem"
+)
+
+func testMachine(t *testing.T, img *ia64.Image, ncpu int) *Machine {
+	t.Helper()
+	cfg := DefaultConfig(ncpu)
+	cfg.Mem.MemBytes = 32 << 20
+	m, err := New(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// asmSumLoop builds: sum ints mem[base .. base+8*n) into r9 via a cloop.
+func asmSumLoop(img *ia64.Image) int {
+	a := ia64.NewAsm(img, "sum")
+	// r8 = base (set by caller), r10 = n-1 for LC
+	a.Emit(ia64.Instr{Op: ia64.OpMovToLC, R2: 10})
+	a.Emit(ia64.Instr{Op: ia64.OpMovI, R1: 9, Imm: 0})
+	a.Label("top")
+	a.Emit(ia64.Instr{Op: ia64.OpLd, R1: 11, R2: 8})
+	a.Emit(ia64.Instr{Op: ia64.OpAdd, R1: 9, R2: 9, R3: 11})
+	a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: 8, R2: 8, Imm: 8})
+	a.Br(ia64.BrCloop, 0, "top")
+	a.Emit(ia64.Instr{Op: ia64.OpHalt})
+	entry, err := a.Close()
+	if err != nil {
+		panic(err)
+	}
+	return entry
+}
+
+func TestCountedLoopSum(t *testing.T) {
+	img := ia64.NewImage()
+	entry := asmSumLoop(img)
+	m := testMachine(t, img, 1)
+
+	base := m.Memory().MustAlloc("a", 8*10, 128)
+	want := int64(0)
+	for i := 0; i < 10; i++ {
+		m.Memory().WriteI64(base+uint64(8*i), int64(i*3))
+		want += int64(i * 3)
+	}
+	m.StartThread(0, entry, 1, func(rf *ia64.RegFile) {
+		rf.SetGR(8, int64(base))
+		rf.SetGR(10, 9) // LC = n-1
+	})
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CPU(0).RF.GR(9); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// asmDaxpyCtop builds a software-pipelined y[i] += a*x[i] with rotating FP
+// registers, structurally mirroring the paper's Figure 2.
+func asmDaxpyCtop(img *ia64.Image) int {
+	a := ia64.NewAsm(img, "daxpy_swp")
+	// Inputs: r8=&x, r9=&y, r10=n, f6=a. Two pipeline stages: load(p16),
+	// compute+store(p17). f32 rotates: value loaded under p16 is read as
+	// f33 one rotation later.
+	a.Emit(ia64.Instr{Op: ia64.OpClrrrb})
+	a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: 10, R2: 10, Imm: -1})
+	a.Emit(ia64.Instr{Op: ia64.OpMovToLC, R2: 10})
+	a.Emit(ia64.Instr{Op: ia64.OpMovToECI, Imm: 2})
+	// Prime the first stage predicate (p16 = true) before entering the
+	// kernel, as "mov pr.rot = 1<<16" does in real SWP prologues.
+	a.Emit(ia64.Instr{Op: ia64.OpCmpI, Rel: ia64.CmpEQ, P1: 16, P2: 0, R2: 0, Imm: 0})
+	a.Emit(ia64.Instr{Op: ia64.OpMovI, R1: 11, Imm: 0}) // store cursor lags
+	a.Label("top")
+	// Stage 1 (p16): load x[i], y[i]
+	a.Emit(ia64.Instr{Op: ia64.OpLdf, R1: 32, R2: 8, QP: 16}) // f32 = x[i]
+	a.Emit(ia64.Instr{Op: ia64.OpLdf, R1: 40, R2: 9, QP: 16}) // f40 = y[i]
+	a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: 8, R2: 8, Imm: 8, QP: 16})
+	// Stage 2 (p17): y' = a*x + y, store (addresses lag one element)
+	a.Emit(ia64.Instr{Op: ia64.OpFma, R1: 48, R2: 6, R3: 33, Imm: 41, QP: 17}) // f48 = a*f33+f41
+	a.Emit(ia64.Instr{Op: ia64.OpStf, R2: 12, R3: 48, QP: 17})
+	a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: 12, R2: 12, Imm: 8, QP: 17})
+	// y cursor for loads advances under p16; store cursor r12 initialized
+	// to &y and advances under p17.
+	a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: 9, R2: 9, Imm: 8, QP: 16})
+	a.Br(ia64.BrCtop, 0, "top")
+	a.Emit(ia64.Instr{Op: ia64.OpHalt})
+	entry, err := a.Close()
+	if err != nil {
+		panic(err)
+	}
+	return entry
+}
+
+func TestSoftwarePipelinedDaxpy(t *testing.T) {
+	img := ia64.NewImage()
+	entry := asmDaxpyCtop(img)
+	m := testMachine(t, img, 1)
+
+	const n = 37
+	x := m.Memory().MustAlloc("x", 8*n, 128)
+	y := m.Memory().MustAlloc("y", 8*n, 128)
+	for i := 0; i < n; i++ {
+		m.Memory().WriteF64(x+uint64(8*i), float64(i))
+		m.Memory().WriteF64(y+uint64(8*i), float64(2*i))
+	}
+	m.StartThread(0, entry, 1, func(rf *ia64.RegFile) {
+		rf.SetGR(8, int64(x))
+		rf.SetGR(9, int64(y))
+		rf.SetGR(10, n)
+		rf.SetGR(12, int64(y))
+		rf.SetFR(6, 3.0)
+	})
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := 3.0*float64(i) + float64(2*i)
+		if got := m.Memory().ReadF64(y + uint64(8*i)); got != want {
+			t.Fatalf("y[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestPredicationSkipsInstructions(t *testing.T) {
+	img := ia64.NewImage()
+	a := ia64.NewAsm(img, "pred")
+	a.Emit(ia64.Instr{Op: ia64.OpCmpI, Rel: ia64.CmpLT, P1: 2, P2: 3, R2: 8, Imm: 10}) // r8<10 ?
+	a.Emit(ia64.Instr{Op: ia64.OpMovI, R1: 20, Imm: 111, QP: 2})
+	a.Emit(ia64.Instr{Op: ia64.OpMovI, R1: 21, Imm: 222, QP: 3})
+	a.Emit(ia64.Instr{Op: ia64.OpHalt})
+	entry, err := a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t, img, 1)
+	m.StartThread(0, entry, 1, func(rf *ia64.RegFile) { rf.SetGR(8, 5) })
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	rf := &m.CPU(0).RF
+	if rf.GR(20) != 111 || rf.GR(21) != 0 {
+		t.Fatalf("r20=%d r21=%d, want 111, 0", rf.GR(20), rf.GR(21))
+	}
+}
+
+func TestBranchCondAndBTB(t *testing.T) {
+	img := ia64.NewImage()
+	a := ia64.NewAsm(img, "br")
+	a.Emit(ia64.Instr{Op: ia64.OpMovI, R1: 8, Imm: 0})
+	a.Label("top")
+	a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: 8, R2: 8, Imm: 1})
+	a.Emit(ia64.Instr{Op: ia64.OpCmpI, Rel: ia64.CmpLT, P1: 2, P2: 0, R2: 8, Imm: 3})
+	a.Br(ia64.BrCond, 2, "top")
+	a.Emit(ia64.Instr{Op: ia64.OpHalt})
+	entry, err := a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t, img, 1)
+	m.StartThread(0, entry, 1, nil)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CPU(0).RF.GR(8); got != 3 {
+		t.Fatalf("r8 = %d, want 3", got)
+	}
+	btb := m.PMU(0).ReadBTB()
+	if len(btb) != 2 {
+		t.Fatalf("BTB entries = %d, want 2 taken branches", len(btb))
+	}
+	for _, e := range btb {
+		if e.TargetPC != entry+1 {
+			t.Fatalf("BTB target = %d, want %d", e.TargetPC, entry+1)
+		}
+		if e.BranchPC <= e.TargetPC {
+			t.Fatal("loop branch must be backward")
+		}
+	}
+}
+
+func TestMemoryStallsAdvanceClock(t *testing.T) {
+	img := ia64.NewImage()
+	a := ia64.NewAsm(img, "ld")
+	a.Emit(ia64.Instr{Op: ia64.OpLdf, R1: 32, R2: 8})
+	a.Emit(ia64.Instr{Op: ia64.OpHalt})
+	entry, _ := a.Close()
+	m := testMachine(t, img, 1)
+	addr := m.Memory().MustAlloc("a", 128, 128)
+	m.StartThread(0, entry, 1, func(rf *ia64.RegFile) { rf.SetGR(8, int64(addr)) })
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c := m.CPU(0).Cycle; c < m.Config().Mem.Lat.Memory {
+		t.Fatalf("cycle %d below memory latency %d: cold miss did not stall", c, m.Config().Mem.Lat.Memory)
+	}
+}
+
+func TestPrefetchDoesNotStall(t *testing.T) {
+	img := ia64.NewImage()
+	a := ia64.NewAsm(img, "pf")
+	a.Emit(ia64.Instr{Op: ia64.OpLfetch, R2: 8, Hint: ia64.HintNT1})
+	a.Emit(ia64.Instr{Op: ia64.OpHalt})
+	entry, _ := a.Close()
+	m := testMachine(t, img, 1)
+	addr := m.Memory().MustAlloc("a", 128, 128)
+	m.StartThread(0, entry, 1, func(rf *ia64.RegFile) { rf.SetGR(8, int64(addr)) })
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c := m.CPU(0).Cycle; c >= m.Config().Mem.Lat.Memory {
+		t.Fatalf("cycle %d: prefetch stalled the CPU", c)
+	}
+	// But the line was installed.
+	if s := m.Domain().Probe(0, addr); s == mem.Invalid {
+		t.Fatal("prefetched line not installed")
+	}
+}
+
+func TestLfetchOutOfRangeIsNonFaulting(t *testing.T) {
+	img := ia64.NewImage()
+	a := ia64.NewAsm(img, "pfbad")
+	a.Emit(ia64.Instr{Op: ia64.OpLfetch, R2: 8, Hint: ia64.HintNT1})
+	a.Emit(ia64.Instr{Op: ia64.OpHalt})
+	entry, _ := a.Close()
+	m := testMachine(t, img, 1)
+	m.StartThread(0, entry, 1, func(rf *ia64.RegFile) { rf.SetGR(8, 1<<40) })
+	if _, err := m.Run(0); err != nil {
+		t.Fatalf("lfetch to wild address faulted: %v", err)
+	}
+}
+
+func TestPatchTakesEffectMidRun(t *testing.T) {
+	// Rewrite the loop body's lfetch to NOP via a timer while the loop is
+	// running — the core COBRA deployment mechanism.
+	img := ia64.NewImage()
+	a := ia64.NewAsm(img, "looppf")
+	a.Emit(ia64.Instr{Op: ia64.OpMovToLCI, Imm: 999})
+	a.Label("top")
+	pfSlot := a.Emit(ia64.Instr{Op: ia64.OpLfetch, R2: 8, Hint: ia64.HintNT1})
+	a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: 8, R2: 8, Imm: 128})
+	a.Br(ia64.BrCloop, 0, "top")
+	a.Emit(ia64.Instr{Op: ia64.OpHalt})
+	entry, _ := a.Close()
+	m := testMachine(t, img, 1)
+	addr := m.Memory().MustAlloc("a", 1<<20, 128)
+
+	patched := false
+	m.AddTimer(&Timer{NextAt: 500, Fn: func(now int64) int64 {
+		if _, err := img.Patch(entry+pfSlot, ia64.Instr{Op: ia64.OpNop}); err != nil {
+			t.Errorf("patch: %v", err)
+		}
+		patched = true
+		return 0 // one-shot
+	}})
+
+	m.StartThread(0, entry, 1, func(rf *ia64.RegFile) { rf.SetGR(8, int64(addr)) })
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !patched {
+		t.Fatal("timer never fired")
+	}
+	// Prefetch count must be well below the 1000 iterations.
+	st := m.Domain().Stats(0)
+	if st.Prefetches >= 1000 {
+		t.Fatalf("prefetches = %d: patch had no effect", st.Prefetches)
+	}
+	if st.Prefetches == 0 {
+		t.Fatal("prefetches = 0: patch applied before any execution?")
+	}
+}
+
+func TestRunAllDeterministic(t *testing.T) {
+	run := func() int64 {
+		img := ia64.NewImage()
+		entry := asmSumLoop(img)
+		m := testMachine(t, img, 2)
+		base0 := m.Memory().MustAlloc("a0", 8*64, 128)
+		base1 := m.Memory().MustAlloc("a1", 8*64, 128)
+		m.StartThread(0, entry, 1, func(rf *ia64.RegFile) {
+			rf.SetGR(8, int64(base0))
+			rf.SetGR(10, 63)
+		})
+		m.StartThread(1, entry, 2, func(rf *ia64.RegFile) {
+			rf.SetGR(8, int64(base1))
+			rf.SetGR(10, 63)
+		})
+		if _, err := m.RunAll([]int{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+		return m.GlobalCycle()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic: %d vs %d cycles", a, b)
+	}
+}
+
+func TestRunawayLoopDetected(t *testing.T) {
+	img := ia64.NewImage()
+	a := ia64.NewAsm(img, "spin")
+	a.Label("top")
+	a.Br(ia64.BrAlways, 0, "top")
+	entry, _ := a.Close()
+	cfg := DefaultConfig(1)
+	cfg.Mem.MemBytes = 1 << 20
+	cfg.MaxInstrPerRun = 10000
+	m, err := New(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StartThread(0, entry, 1, nil)
+	if _, err := m.Run(0); err == nil {
+		t.Fatal("runaway loop not detected")
+	}
+}
+
+func TestSyncClocksBarrier(t *testing.T) {
+	img := ia64.NewImage()
+	img.Append(ia64.Instr{Op: ia64.OpHalt})
+	m := testMachine(t, img, 4)
+	m.CPU(2).Cycle = 1000
+	m.SyncClocks(m.GlobalCycle())
+	for i := 0; i < 4; i++ {
+		if m.CPU(i).Cycle != 1000 {
+			t.Fatalf("CPU %d cycle = %d after barrier", i, m.CPU(i).Cycle)
+		}
+	}
+}
+
+func TestInstRetiredCounted(t *testing.T) {
+	img := ia64.NewImage()
+	entry := asmSumLoop(img)
+	m := testMachine(t, img, 1)
+	base := m.Memory().MustAlloc("a", 8*4, 128)
+	m.StartThread(0, entry, 1, func(rf *ia64.RegFile) {
+		rf.SetGR(8, int64(base))
+		rf.SetGR(10, 3)
+	})
+	n, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n != m.CPU(0).InstRetired {
+		t.Fatalf("retired = %d vs CPU count %d", n, m.CPU(0).InstRetired)
+	}
+	if _, v := m.PMU(0).Read(0); v != 0 {
+		// Counter 0 unprogrammed: reading must be 0.
+		t.Fatalf("unprogrammed counter = %d", v)
+	}
+}
+
+func TestPMUSeesMemoryEvents(t *testing.T) {
+	img := ia64.NewImage()
+	a := ia64.NewAsm(img, "mems")
+	a.Emit(ia64.Instr{Op: ia64.OpLdf, R1: 32, R2: 8})
+	a.Emit(ia64.Instr{Op: ia64.OpHalt})
+	entry, _ := a.Close()
+	m := testMachine(t, img, 1)
+	m.PMU(0).Program(0, hpm.EvL3Misses, 0)
+	m.PMU(0).Program(1, hpm.EvBusMemory, 0)
+	addr := m.Memory().MustAlloc("a", 128, 128)
+	m.StartThread(0, entry, 1, func(rf *ia64.RegFile) { rf.SetGR(8, int64(addr)) })
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, v := m.PMU(0).Read(0); v != 1 {
+		t.Fatalf("L3 miss counter = %d, want 1", v)
+	}
+	if _, v := m.PMU(0).Read(1); v != 1 {
+		t.Fatalf("bus counter = %d, want 1", v)
+	}
+}
+
+func TestDEARCapturesDelinquentLoad(t *testing.T) {
+	img := ia64.NewImage()
+	a := ia64.NewAsm(img, "dear")
+	ldSlot := a.Emit(ia64.Instr{Op: ia64.OpLdf, R1: 32, R2: 8})
+	a.Emit(ia64.Instr{Op: ia64.OpHalt})
+	entry, _ := a.Close()
+	m := testMachine(t, img, 1)
+	m.PMU(0).SetDEARFilter(100, 1) // memory-latency loads only
+	addr := m.Memory().MustAlloc("a", 128, 128)
+	m.StartThread(0, entry, 1, func(rf *ia64.RegFile) { rf.SetGR(8, int64(addr)) })
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	s := m.PMU(0).ReadDEAR()
+	if !s.Valid || s.PC != entry+ldSlot || s.Addr != addr {
+		t.Fatalf("DEAR = %+v, want capture of load at %d addr %#x", s, entry+ldSlot, addr)
+	}
+}

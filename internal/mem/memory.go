@@ -1,0 +1,149 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Memory is the flat simulated physical memory: a byte-addressed backing
+// store with a bump allocator for named segments and per-page NUMA home
+// nodes assigned by first-touch (the SGI Altix policy the paper relies on).
+type Memory struct {
+	data     []byte
+	pageSize uint64
+	home     []int16 // page index -> node, -1 until first touch
+	brk      uint64
+	segs     []Segment
+}
+
+// Segment records a named allocation (an array of a workload).
+type Segment struct {
+	Name string
+	Base uint64
+	Size uint64
+}
+
+// NewMemory creates a memory of size bytes with the given NUMA page size.
+func NewMemory(size, pageSize uint64) *Memory {
+	if pageSize == 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("mem: page size %d not a power of two", pageSize))
+	}
+	npages := (size + pageSize - 1) / pageSize
+	m := &Memory{
+		data:     make([]byte, size),
+		pageSize: pageSize,
+		home:     make([]int16, npages),
+		brk:      pageSize, // keep address 0 unmapped to catch null derefs
+	}
+	for i := range m.home {
+		m.home[i] = -1
+	}
+	return m
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint64 { return uint64(len(m.data)) }
+
+// Alloc reserves size bytes aligned to align (power of two, at least 8) and
+// returns the base address.
+func (m *Memory) Alloc(name string, size, align uint64) (uint64, error) {
+	if align == 0 {
+		align = 8
+	}
+	if align&(align-1) != 0 {
+		return 0, fmt.Errorf("mem: alloc %s alignment %d not a power of two", name, align)
+	}
+	base := (m.brk + align - 1) &^ (align - 1)
+	if base+size > uint64(len(m.data)) {
+		return 0, fmt.Errorf("mem: out of memory allocating %s (%d bytes at %#x)", name, size, base)
+	}
+	m.brk = base + size
+	m.segs = append(m.segs, Segment{Name: name, Base: base, Size: size})
+	return base, nil
+}
+
+// MustAlloc is Alloc that panics on exhaustion (workload setup paths).
+func (m *Memory) MustAlloc(name string, size, align uint64) uint64 {
+	a, err := m.Alloc(name, size, align)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Segments returns the allocation table.
+func (m *Memory) Segments() []Segment {
+	out := make([]Segment, len(m.segs))
+	copy(out, m.segs)
+	return out
+}
+
+// SegmentFor returns the segment containing addr, if any. COBRA's profiler
+// uses it to attribute delinquent loads to data structures.
+func (m *Memory) SegmentFor(addr uint64) (Segment, bool) {
+	for _, s := range m.segs {
+		if addr >= s.Base && addr < s.Base+s.Size {
+			return s, true
+		}
+	}
+	return Segment{}, false
+}
+
+func (m *Memory) check(addr uint64, n uint64) {
+	if addr < m.pageSize || addr+n > uint64(len(m.data)) {
+		panic(fmt.Sprintf("mem: access [%#x,%#x) outside memory (size %#x)", addr, addr+n, len(m.data)))
+	}
+}
+
+// ReadI64 reads a little-endian int64.
+func (m *Memory) ReadI64(addr uint64) int64 {
+	m.check(addr, 8)
+	return int64(binary.LittleEndian.Uint64(m.data[addr:]))
+}
+
+// WriteI64 writes a little-endian int64.
+func (m *Memory) WriteI64(addr uint64, v int64) {
+	m.check(addr, 8)
+	binary.LittleEndian.PutUint64(m.data[addr:], uint64(v))
+}
+
+// ReadF64 reads a float64.
+func (m *Memory) ReadF64(addr uint64) float64 {
+	m.check(addr, 8)
+	return math.Float64frombits(binary.LittleEndian.Uint64(m.data[addr:]))
+}
+
+// WriteF64 writes a float64.
+func (m *Memory) WriteF64(addr uint64, v float64) {
+	m.check(addr, 8)
+	binary.LittleEndian.PutUint64(m.data[addr:], math.Float64bits(v))
+}
+
+// HomeNode returns the NUMA home node of addr, assigning it by first touch
+// from toucher if unassigned. On the SMP configuration every page homes to
+// node 0.
+func (m *Memory) HomeNode(addr uint64, toucher int) int {
+	pg := addr / m.pageSize
+	if m.home[pg] < 0 {
+		m.home[pg] = int16(toucher)
+	}
+	return int(m.home[pg])
+}
+
+// PeekHomeNode returns the home node without first-touch assignment
+// (-1 if untouched).
+func (m *Memory) PeekHomeNode(addr uint64) int {
+	return int(m.home[addr/m.pageSize])
+}
+
+// PageSize returns the NUMA page size.
+func (m *Memory) PageSize() uint64 { return m.pageSize }
+
+// ResetPlacement clears all first-touch assignments (used between
+// experiment repetitions).
+func (m *Memory) ResetPlacement() {
+	for i := range m.home {
+		m.home[i] = -1
+	}
+}

@@ -1,0 +1,105 @@
+// Package mem models the memory system of an Itanium 2 multiprocessor in
+// enough detail to reproduce the coherent-miss phenomena the COBRA paper
+// optimizes: per-CPU L1D/L2/L3 cache hierarchies with 128-byte lines kept
+// coherent by an invalidation-based MESI (Illinois) protocol over either a
+// shared front-side bus (the 4-way SMP server) or a cc-NUMA interconnect of
+// 2-CPU nodes (the SGI Altix), with first-touch page placement.
+//
+// The model is a timing model: every access returns a completion cycle
+// computed from hit level, snoop results, interconnect contention and NUMA
+// distance, plus the event classification (BUS_RD_HIT, BUS_RD_HITM,
+// BUS_RD_INVAL_ALL_HITM, BUS_MEMORY, ...) the hardware performance monitors
+// expose to COBRA.
+package mem
+
+// MESIState is the coherence state of a cache line.
+type MESIState uint8
+
+const (
+	Invalid MESIState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s MESIState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// AccessKind classifies a memory operation presented to a cache hierarchy.
+type AccessKind uint8
+
+const (
+	LoadInt  AccessKind = iota // integer demand load (allocates in L1D)
+	LoadFP                     // FP demand load (bypasses L1D, as on Itanium 2)
+	Store                      // demand store (write-allocate, write-back)
+	PrefShrd                   // lfetch: prefetch line in Shared/Exclusive state
+	PrefExcl                   // lfetch.excl: prefetch line with intent to modify
+	LoadBias                   // ld.bias: demand load acquiring Exclusive state
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case LoadInt:
+		return "ld"
+	case LoadFP:
+		return "ldf"
+	case Store:
+		return "st"
+	case PrefShrd:
+		return "lfetch"
+	case PrefExcl:
+		return "lfetch.excl"
+	case LoadBias:
+		return "ld.bias"
+	}
+	return "?"
+}
+
+// IsPrefetch reports whether the access is non-binding.
+func (k AccessKind) IsPrefetch() bool { return k == PrefShrd || k == PrefExcl }
+
+// wantsExclusive reports whether the access requires ownership of the line.
+func (k AccessKind) wantsExclusive() bool {
+	return k == Store || k == PrefExcl || k == LoadBias
+}
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level uint8
+
+const (
+	LvlL1 Level = iota
+	LvlL2
+	LvlL3
+	LvlMemory // satisfied by home memory over the interconnect
+	LvlRemote // satisfied by a cache-to-cache transfer (coherent miss)
+	LvlNone   // prefetch dropped, or no data movement
+)
+
+func (l Level) String() string {
+	switch l {
+	case LvlL1:
+		return "L1"
+	case LvlL2:
+		return "L2"
+	case LvlL3:
+		return "L3"
+	case LvlMemory:
+		return "MEM"
+	case LvlRemote:
+		return "C2C"
+	case LvlNone:
+		return "-"
+	}
+	return "?"
+}

@@ -1,0 +1,379 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ia64"
+	ir "repro/internal/loopir"
+	"repro/internal/workload"
+)
+
+// The three simulated CFD applications share a 3D grid with five solution
+// variables per cell, a stencil-based right-hand-side evaluation, and
+// directional line solves — "much of the data movement and computation
+// found in full CFD codes" (paper §5.1). They differ in solver structure:
+// BT sweeps block-coupled tridiagonal lines, SP scalar pentadiagonal lines
+// (two-term recurrences, heavier dissipation stencils), and LU performs
+// SSOR lower/upper sweeps.
+
+// cfdGeom holds grid geometry shared by BT/SP/LU.
+type cfdGeom struct {
+	ns   int64 // points per dimension
+	nvar int64 // solution variables per cell (5)
+	n    int64 // nvar * ns^3
+}
+
+func newCFDGeom(class Class) cfdGeom {
+	ns := int64(12) // class S grids are 12^3
+	if class == ClassT {
+		ns = 6
+	}
+	return cfdGeom{ns: ns, nvar: 5, n: 5 * ns * ns * ns}
+}
+
+// idx5 builds the flat index 5*((（i+1)*ns + (j+1))*ns + k) + m with i, j
+// interior loop variables and k the innermost variable.
+func (g cfdGeom) idx5(iv, jv, kv string, di, dj, dk, m int64) ir.IntExpr {
+	i := ir.IAdd(ir.V(iv), ir.I(1+di))
+	j := ir.IAdd(ir.V(jv), ir.I(1+dj))
+	cell := ir.IAdd(ir.IMul(ir.IAdd(ir.IMul(i, ir.I(g.ns)), j), ir.I(g.ns)), ir.IAdd(ir.V(kv), ir.I(dk)))
+	return ir.IAdd(ir.IMul(cell, ir.I(g.nvar)), ir.I(m))
+}
+
+// rhsKernel builds the compute_rhs triple nest: for every interior cell
+// and every variable m, rhs = forcing - stencil(u). coupling mixes in the
+// next variable (BT's block flavour); dissip adds k±2 terms (SP's
+// pentadiagonal dissipation).
+func (g cfdGeom) rhsKernel(name string, coupling, dissip bool) *ir.Func {
+	body := func() []ir.Stmt {
+		var out []ir.Stmt
+		for m := int64(0); m < g.nvar; m++ {
+			e := g.idx5("i", "j", "k", 0, 0, 0, m)
+			neigh := ir.FAdd(
+				ir.FAdd(ir.At("u", g.idx5("i", "j", "k", 0, 0, -1, m)),
+					ir.At("u", g.idx5("i", "j", "k", 0, 0, 1, m))),
+				ir.FAdd(
+					ir.FAdd(ir.At("u", g.idx5("i", "j", "k", 0, -1, 0, m)),
+						ir.At("u", g.idx5("i", "j", "k", 0, 1, 0, m))),
+					ir.FAdd(ir.At("u", g.idx5("i", "j", "k", -1, 0, 0, m)),
+						ir.At("u", g.idx5("i", "j", "k", 1, 0, 0, m)))))
+			var val ir.FloatExpr = ir.FAdd(
+				ir.FMul(ir.F(-1.5), ir.At("u", e)),
+				ir.FMul(ir.F(0.25), neigh))
+			if coupling {
+				val = ir.FAdd(val, ir.FMul(ir.F(0.1),
+					ir.At("u", g.idx5("i", "j", "k", 0, 0, 0, (m+1)%g.nvar))))
+			}
+			if dissip {
+				val = ir.FAdd(val, ir.FMul(ir.F(0.0625),
+					ir.FAdd(ir.At("u", g.idx5("i", "j", "k", 0, 0, -2, m)),
+						ir.At("u", g.idx5("i", "j", "k", 0, 0, 2, m)))))
+			}
+			out = append(out, ir.FStore{Array: "rhs", Index: e,
+				Val: ir.FSub(ir.At("forcing", e), val)})
+		}
+		return out
+	}
+	kLo, kHi := int64(1), g.ns-1
+	if dissip {
+		kLo, kHi = 2, g.ns-2
+	}
+	return &ir.Func{
+		Name:     name,
+		Parallel: true,
+		Body: []ir.Stmt{
+			ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+				ir.For{Var: "j", Lo: ir.I(0), Hi: ir.I(g.ns - 2), Body: []ir.Stmt{
+					ir.For{Var: "k", Lo: ir.I(kLo), Hi: ir.I(kHi), Body: body()},
+				}},
+			}},
+		},
+	}
+}
+
+// sweepKernel builds a directional line solve along grid axis dir
+// (0 = x, the outermost index; 2 = z, the innermost): a forward recurrence
+// rhs[s] -= f*u[s-1]*rhs[s-1] (+ g*rhs[s-2] when penta), with damped
+// coefficients so the pseudo-time iteration stays bounded, then a backward
+// substitution expressed as an ascending loop over reversed indices.
+// Parallelism is over lines perpendicular to the swept axis, so every
+// thread owns whole lines while neighbouring lines may live on other CPUs;
+// the x and y sweeps stride by whole planes and rows, the access patterns
+// whose prefetch streams reach far into other threads' data.
+func (g cfdGeom) sweepKernel(name string, dir int, penta bool) *ir.Func {
+	// cellAt places the sweep coordinate expression sc on axis dir and the
+	// interior loop variables a ("i") and b ("j") on the other two axes.
+	cellAt := func(sc ir.IntExpr, m int64) ir.IntExpr {
+		a := ir.IAdd(ir.V("i"), ir.I(1))
+		b := ir.IAdd(ir.V("j"), ir.I(1))
+		var c0, c1, c2 ir.IntExpr
+		switch dir {
+		case 0:
+			c0, c1, c2 = sc, a, b
+		case 1:
+			c0, c1, c2 = a, sc, b
+		default:
+			c0, c1, c2 = a, b, sc
+		}
+		cell := ir.IAdd(ir.IMul(ir.IAdd(ir.IMul(c0, ir.I(g.ns)), c1), ir.I(g.ns)), c2)
+		return ir.IAdd(ir.IMul(cell, ir.I(g.nvar)), ir.I(m))
+	}
+	// Forward: for k in [1+, ns): rhs[idx(k)] -= f*rhs[idx(k-1)].
+	fwd := func() []ir.Stmt {
+		var out []ir.Stmt
+		for m := int64(0); m < g.nvar; m++ {
+			e := cellAt(ir.V("k"), m)
+			prev := cellAt(ir.ISub(ir.V("k"), ir.I(1)), m)
+			fac := ir.FMul(ir.F(0.02), ir.At("u", prev))
+			var val ir.FloatExpr = ir.FSub(ir.At("rhs", e), ir.FMul(fac, ir.At("rhs", prev)))
+			if penta && m%2 == 0 {
+				prev2 := cellAt(ir.ISub(ir.V("k"), ir.I(2)), m)
+				val = ir.FSub(val, ir.FMul(ir.F(0.01), ir.At("rhs", prev2)))
+			}
+			out = append(out, ir.FStore{Array: "rhs", Index: e, Val: val})
+		}
+		return out
+	}
+	// Backward: kb ascends, the swept coordinate descends.
+	bidx := func(dk, m int64) ir.IntExpr {
+		return cellAt(ir.IAdd(ir.ISub(ir.I(g.ns-2), ir.V("kb")), ir.I(dk)), m)
+	}
+	bwd := func() []ir.Stmt {
+		var out []ir.Stmt
+		for m := int64(0); m < g.nvar; m++ {
+			out = append(out, ir.FStore{Array: "rhs", Index: bidx(0, m),
+				Val: ir.FSub(ir.At("rhs", bidx(0, m)),
+					ir.FMul(ir.F(0.02), ir.At("rhs", bidx(1, m))))})
+		}
+		return out
+	}
+	fwdLo := int64(1)
+	if penta {
+		fwdLo = 2
+	}
+	return &ir.Func{
+		Name:     name,
+		Parallel: true,
+		Body: []ir.Stmt{
+			ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+				ir.For{Var: "j", Lo: ir.I(0), Hi: ir.I(g.ns - 2), Body: []ir.Stmt{
+					ir.For{Var: "k", Lo: ir.I(fwdLo), Hi: ir.I(g.ns), Hint: ir.HintCounted, Body: fwd()},
+					ir.For{Var: "kb", Lo: ir.I(1), Hi: ir.I(g.ns - 1), Hint: ir.HintCounted, Body: bwd()},
+				}},
+			}},
+		},
+	}
+}
+
+// addKernel builds u += rhs over the flat range — the streaming update
+// that closes each pseudo-time step.
+func (g cfdGeom) addKernel(name string) *ir.Func {
+	return &ir.Func{
+		Name:     name,
+		Parallel: true,
+		Body: []ir.Stmt{
+			ir.For{Var: "x", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+				ir.FStore{Array: "u", Index: ir.V("x"),
+					Val: ir.FAdd(ir.FMul(ir.F(0.95), ir.At("u", ir.V("x"))),
+						ir.FMul(ir.F(0.005), ir.At("rhs", ir.V("x"))))},
+			}},
+		},
+	}
+}
+
+// normKernels build the per-step residual norm: a parallel partial
+// reduction of rhs² followed by a serial fold, as the real codes compute
+// their verification norms every few steps.
+func (g cfdGeom) normKernels(prefix string) []*ir.Func {
+	return []*ir.Func{
+		{
+			Name:     prefix + "_norm",
+			Parallel: true,
+			Body: []ir.Stmt{
+				ir.SetF{Name: "acc", Val: ir.F(0)},
+				ir.For{Var: "x", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+					ir.SetF{Name: "acc", Val: ir.FAdd(ir.FV("acc"),
+						ir.FMul(ir.At("rhs", ir.V("x")), ir.At("rhs", ir.V("x"))))},
+				}},
+				ir.FStore{Array: "partial", Index: ir.V("tid"), Val: ir.FV("acc")},
+			},
+		},
+		{
+			Name:      prefix + "_norm_fold",
+			IntParams: []string{"nt"},
+			Body: []ir.Stmt{
+				ir.SetF{Name: "s", Val: ir.F(0)},
+				ir.For{Var: "t", Lo: ir.I(0), Hi: ir.V("nt"), Hint: ir.HintCounted, Body: []ir.Stmt{
+					ir.SetF{Name: "s", Val: ir.FAdd(ir.FV("s"), ir.At("partial", ir.V("t")))},
+				}},
+				ir.FStore{Array: "norms", Index: ir.I(0), Val: ir.FV("s")},
+			},
+		},
+	}
+}
+
+// cfdArrays is the common array set.
+func (g cfdGeom) arrays() []ir.Array {
+	return []ir.Array{
+		{Name: "u", Kind: ir.F64, Elems: g.n},
+		{Name: "rhs", Kind: ir.F64, Elems: g.n},
+		{Name: "forcing", Kind: ir.F64, Elems: g.n},
+		{Name: "partial", Kind: ir.F64, Elems: 16},
+		{Name: "norms", Kind: ir.F64, Elems: 4},
+	}
+}
+
+// cfdSetup initializes u and forcing and zeroes rhs.
+func (g cfdGeom) setup(seed uint64) func(c *workload.Ctx) error {
+	return func(c *workload.Ctx) error {
+		rng := newLCG(seed)
+		for i := int64(0); i < g.n; i++ {
+			c.WriteF64("u", i, rng.f64()-0.5)
+			c.WriteF64("forcing", i, rng.f64()-0.5)
+			c.WriteF64("rhs", i, 0)
+		}
+		return nil
+	}
+}
+
+// cfdVerify checks that the final rhs equals the host-evaluated stencil of
+// the final u at sampled interior cells (the run must end with the rhs
+// kernel).
+func (g cfdGeom) verify(coupling, dissip bool) func(c *workload.Ctx) error {
+	return func(c *workload.Ctx) error {
+		at := func(a string, i, j, k, m int64) float64 {
+			return c.ReadF64(a, 5*((i*g.ns+j)*g.ns+k)+m)
+		}
+		kSample := g.ns / 2
+		if dissip && kSample < 2 {
+			kSample = 2
+		}
+		for _, cell := range [][3]int64{{1, 1, kSample}, {g.ns / 2, g.ns / 2, kSample}} {
+			i, j, k := cell[0], cell[1], cell[2]
+			for m := int64(0); m < g.nvar; m++ {
+				neigh := at("u", i, j, k-1, m) + at("u", i, j, k+1, m) +
+					at("u", i, j-1, k, m) + at("u", i, j+1, k, m) +
+					at("u", i-1, j, k, m) + at("u", i+1, j, k, m)
+				val := -1.5*at("u", i, j, k, m) + 0.25*neigh
+				if coupling {
+					val += 0.1 * at("u", i, j, k, (m+1)%g.nvar)
+				}
+				if dissip {
+					val += 0.0625 * (at("u", i, j, k-2, m) + at("u", i, j, k+2, m))
+				}
+				want := at("forcing", i, j, k, m) - val
+				got := at("rhs", i, j, k, m)
+				if math.IsNaN(got) || math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+					return fmt.Errorf("cfd: rhs(%d,%d,%d,%d) = %v, want %v", i, j, k, m, got, want)
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// cfdRun drives iters pseudo-time steps: rhs, directional solves, add,
+// and a residual norm — then one final rhs for verification.
+func (g cfdGeom) run(iters int, prefix, rhs string, solves []string, add string) func(c *workload.Ctx) error {
+	interior := g.ns - 2
+	return func(c *workload.Ctx) error {
+		bindNT := func(tid int, rf *ia64.RegFile) {
+			rf.SetGR(c.IntArg(prefix+"_norm_fold", "nt"), int64(c.Threads))
+		}
+		for it := 0; it < iters; it++ {
+			if err := c.ParallelFor(rhs, interior, nil); err != nil {
+				return err
+			}
+			for _, s := range solves {
+				if err := c.ParallelFor(s, interior, nil); err != nil {
+					return err
+				}
+			}
+			if err := c.ParallelFor(add, g.n, nil); err != nil {
+				return err
+			}
+			if err := c.ParallelFor(prefix+"_norm", g.n, nil); err != nil {
+				return err
+			}
+			if err := c.Serial(prefix+"_norm_fold", bindNT); err != nil {
+				return err
+			}
+		}
+		return c.ParallelFor(rhs, interior, nil)
+	}
+}
+
+// BT is the block-tridiagonal simulated CFD application: a coupled
+// five-variable stencil RHS and three directional tridiagonal sweeps.
+func BT(p Params) *workload.Workload {
+	g := newCFDGeom(p.Class)
+	iters := p.iters(48)
+	prog := &ir.Program{
+		Name:   "bt",
+		Arrays: g.arrays(),
+		Funcs: append([]*ir.Func{
+			g.rhsKernel("bt_rhs", true, false),
+			g.sweepKernel("bt_x_solve", 0, false),
+			g.sweepKernel("bt_y_solve", 1, false),
+			g.sweepKernel("bt_z_solve", 2, false),
+			g.addKernel("bt_add"),
+		}, g.normKernels("bt")...),
+	}
+	return &workload.Workload{
+		Name:   "bt",
+		Prog:   prog,
+		Setup:  g.setup(101),
+		Run:    g.run(iters, "bt", "bt_rhs", []string{"bt_x_solve", "bt_y_solve", "bt_z_solve"}, "bt_add"),
+		Verify: g.verify(true, false),
+	}
+}
+
+// SP is the scalar-pentadiagonal application: dissipation-heavy stencils
+// and two-term recurrences in the sweeps.
+func SP(p Params) *workload.Workload {
+	g := newCFDGeom(p.Class)
+	iters := p.iters(48)
+	prog := &ir.Program{
+		Name:   "sp",
+		Arrays: g.arrays(),
+		Funcs: append([]*ir.Func{
+			g.rhsKernel("sp_rhs", false, true),
+			g.sweepKernel("sp_x_solve", 0, true),
+			g.sweepKernel("sp_y_solve", 1, true),
+			g.sweepKernel("sp_z_solve", 2, true),
+			g.addKernel("sp_add"),
+		}, g.normKernels("sp")...),
+	}
+	return &workload.Workload{
+		Name:   "sp",
+		Prog:   prog,
+		Setup:  g.setup(202),
+		Run:    g.run(iters, "sp", "sp_rhs", []string{"sp_x_solve", "sp_y_solve", "sp_z_solve"}, "sp_add"),
+		Verify: g.verify(false, true),
+	}
+}
+
+// LU is the SSOR application: a lower sweep and an upper sweep per step
+// instead of three directional solves.
+func LU(p Params) *workload.Workload {
+	g := newCFDGeom(p.Class)
+	iters := p.iters(48)
+	prog := &ir.Program{
+		Name:   "lu",
+		Arrays: g.arrays(),
+		Funcs: append([]*ir.Func{
+			g.rhsKernel("lu_rhs", false, false),
+			g.sweepKernel("lu_blts", 2, false),
+			g.sweepKernel("lu_buts", 1, true),
+			g.addKernel("lu_add"),
+		}, g.normKernels("lu")...),
+	}
+	return &workload.Workload{
+		Name:   "lu",
+		Prog:   prog,
+		Setup:  g.setup(303),
+		Run:    g.run(iters, "lu", "lu_rhs", []string{"lu_blts", "lu_buts"}, "lu_add"),
+		Verify: g.verify(false, false),
+	}
+}

@@ -1,0 +1,243 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ia64"
+	ir "repro/internal/loopir"
+	"repro/internal/workload"
+)
+
+// CG is the conjugate-gradient kernel: a sparse matrix-vector product over
+// a CSR matrix (an irregular gather through colidx), dot-product
+// reductions, and AXPY vector updates. The direction vector p is rewritten
+// every iteration and gathered by every thread, which makes CG the most
+// coherent-miss-bound benchmark in the suite — it shows the paper's
+// largest noprefetch gains (-39.5% L3 misses on the SMP).
+func CG(p Params) *workload.Workload {
+	n, deg, iters := int64(1400), int64(11), p.iters(40)
+	if p.Class == ClassT {
+		n, deg, iters = 64, 4, p.iters(2)
+	}
+	nnz := n * deg
+	const maxThreads = 16
+
+	prog := &ir.Program{
+		Name: "cg",
+		Arrays: []ir.Array{
+			{Name: "a", Kind: ir.F64, Elems: nnz},
+			{Name: "colidx", Kind: ir.I64, Elems: nnz},
+			{Name: "rowstr", Kind: ir.I64, Elems: n + 1},
+			{Name: "pvec", Kind: ir.F64, Elems: n},
+			{Name: "q", Kind: ir.F64, Elems: n},
+			{Name: "r", Kind: ir.F64, Elems: n},
+			{Name: "z", Kind: ir.F64, Elems: n},
+			{Name: "partial", Kind: ir.F64, Elems: maxThreads},
+			{Name: "scalars", Kind: ir.F64, Elems: 8}, // rho, den, alpha, beta, rhoNew
+		},
+		Funcs: []*ir.Func{
+			{
+				// q = A*p: the sparse matvec. The inner gather loop cannot
+				// be prefetched on p (indirect), but a and colidx stream.
+				Name:     "cg_matvec",
+				Parallel: true,
+				Body: []ir.Stmt{
+					ir.For{Var: "row", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.SetF{Name: "sum", Val: ir.F(0)},
+						ir.For{Var: "k",
+							Lo: ir.IAt("rowstr", ir.V("row")),
+							Hi: ir.IAt("rowstr", ir.IAdd(ir.V("row"), ir.I(1))),
+							Body: []ir.Stmt{
+								ir.SetF{Name: "sum", Val: ir.FAdd(ir.FV("sum"),
+									ir.FMul(ir.At("a", ir.V("k")), ir.At("pvec", ir.IAt("colidx", ir.V("k")))))},
+							}},
+						ir.FStore{Array: "q", Index: ir.V("row"), Val: ir.FV("sum")},
+					}},
+				},
+			},
+			{
+				// partial[tid] = p·q over the thread's chunk.
+				Name:     "cg_dot_pq",
+				Parallel: true,
+				Body:     dotBody("pvec", "q"),
+			},
+			{
+				// partial[tid] = r·r over the thread's chunk.
+				Name:     "cg_dot_rr",
+				Parallel: true,
+				Body:     dotBody("r", "r"),
+			},
+			{
+				// den = Σ partial; alpha = rho/den (master only).
+				Name:      "cg_alpha",
+				IntParams: []string{"nt"},
+				Body: []ir.Stmt{
+					ir.SetF{Name: "d", Val: ir.F(0)},
+					ir.For{Var: "t", Lo: ir.I(0), Hi: ir.V("nt"), Hint: ir.HintCounted, Body: []ir.Stmt{
+						ir.SetF{Name: "d", Val: ir.FAdd(ir.FV("d"), ir.At("partial", ir.V("t")))},
+					}},
+					ir.FStore{Array: "scalars", Index: ir.I(1), Val: ir.FV("d")},
+					ir.FStore{Array: "scalars", Index: ir.I(2),
+						Val: ir.FDiv(ir.At("scalars", ir.I(0)), ir.FV("d"))},
+				},
+			},
+			{
+				// rhoNew = Σ partial; beta = rhoNew/rho; rho = rhoNew.
+				Name:      "cg_beta",
+				IntParams: []string{"nt"},
+				Body: []ir.Stmt{
+					ir.SetF{Name: "d", Val: ir.F(0)},
+					ir.For{Var: "t", Lo: ir.I(0), Hi: ir.V("nt"), Hint: ir.HintCounted, Body: []ir.Stmt{
+						ir.SetF{Name: "d", Val: ir.FAdd(ir.FV("d"), ir.At("partial", ir.V("t")))},
+					}},
+					ir.FStore{Array: "scalars", Index: ir.I(4), Val: ir.FV("d")},
+					ir.FStore{Array: "scalars", Index: ir.I(3),
+						Val: ir.FDiv(ir.FV("d"), ir.At("scalars", ir.I(0)))},
+					ir.FStore{Array: "scalars", Index: ir.I(0), Val: ir.FV("d")},
+				},
+			},
+			{
+				// z += alpha*p; r -= alpha*q.
+				Name:     "cg_update_zr",
+				Parallel: true,
+				Body: []ir.Stmt{
+					ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.FStore{Array: "z", Index: ir.V("i"),
+							Val: ir.FAdd(ir.At("z", ir.V("i")),
+								ir.FMul(ir.At("scalars", ir.I(2)), ir.At("pvec", ir.V("i"))))},
+					}},
+					ir.For{Var: "i2", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.FStore{Array: "r", Index: ir.V("i2"),
+							Val: ir.FSub(ir.At("r", ir.V("i2")),
+								ir.FMul(ir.At("scalars", ir.I(2)), ir.At("q", ir.V("i2"))))},
+					}},
+				},
+			},
+			{
+				// p = r + beta*p: rewrites the globally gathered vector —
+				// the write that invalidates every other CPU's cached p.
+				Name:     "cg_update_p",
+				Parallel: true,
+				Body: []ir.Stmt{
+					ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.FStore{Array: "pvec", Index: ir.V("i"),
+							Val: ir.FAdd(ir.At("r", ir.V("i")),
+								ir.FMul(ir.At("scalars", ir.I(3)), ir.At("pvec", ir.V("i"))))},
+					}},
+				},
+			},
+		},
+	}
+
+	return &workload.Workload{
+		Name: "cg",
+		Prog: prog,
+		Setup: func(c *workload.Ctx) error {
+			rng := newLCG(1401)
+			for i := int64(0); i <= n; i++ {
+				c.WriteI64("rowstr", i, i*deg)
+			}
+			// Diagonally dominant sparse matrix (unit diagonal, small
+			// random off-diagonals) so the iteration stays numerically
+			// bounded: p·(Ap) > 0 for every nonzero p.
+			for row := int64(0); row < n; row++ {
+				c.WriteI64("colidx", row*deg, row)
+				c.WriteF64("a", row*deg, 1.0)
+				for d := int64(1); d < deg; d++ {
+					c.WriteI64("colidx", row*deg+d, rng.intn(n))
+					c.WriteF64("a", row*deg+d, (rng.f64()-0.5)*0.8/float64(deg))
+				}
+			}
+			for i := int64(0); i < n; i++ {
+				v := rng.f64()
+				c.WriteF64("pvec", i, v)
+				c.WriteF64("r", i, v)
+				c.WriteF64("z", i, 0)
+			}
+			// rho = r·r, computed in the same order the device will use.
+			rho := hostChunkedDot(c, n, "r", "r")
+			c.WriteF64("scalars", 0, rho)
+			return nil
+		},
+		Run: func(c *workload.Ctx) error {
+			nt := int64(c.Threads)
+			bindNT := func(tid int, rf *ia64.RegFile) {
+				rf.SetGR(c.IntArg("cg_alpha", "nt"), nt)
+			}
+			bindNTBeta := func(tid int, rf *ia64.RegFile) {
+				rf.SetGR(c.IntArg("cg_beta", "nt"), nt)
+			}
+			for it := 0; it < iters; it++ {
+				if err := c.ParallelFor("cg_matvec", n, nil); err != nil {
+					return err
+				}
+				if err := c.ParallelFor("cg_dot_pq", n, nil); err != nil {
+					return err
+				}
+				if err := c.Serial("cg_alpha", bindNT); err != nil {
+					return err
+				}
+				if err := c.ParallelFor("cg_update_zr", n, nil); err != nil {
+					return err
+				}
+				if err := c.ParallelFor("cg_dot_rr", n, nil); err != nil {
+					return err
+				}
+				if err := c.Serial("cg_beta", bindNTBeta); err != nil {
+					return err
+				}
+				if err := c.ParallelFor("cg_update_p", n, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Verify: func(c *workload.Ctx) error {
+			// The device's final rho must match a host recomputation of
+			// r·r in the same summation order, and stay finite.
+			want := hostChunkedDot(c, n, "r", "r")
+			got := c.ReadF64("scalars", 4)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				return fmt.Errorf("cg: rho = %v", got)
+			}
+			if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				return fmt.Errorf("cg: device rho %v != host rho %v", got, want)
+			}
+			return nil
+		},
+	}
+}
+
+// dotBody builds a per-thread chunk dot product into partial[tid].
+func dotBody(x, y string) []ir.Stmt {
+	return []ir.Stmt{
+		ir.SetF{Name: "acc", Val: ir.F(0)},
+		ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+			ir.SetF{Name: "acc", Val: ir.FAdd(ir.FV("acc"),
+				ir.FMul(ir.At(x, ir.V("i")), ir.At(y, ir.V("i"))))},
+		}},
+		ir.FStore{Array: "partial", Index: ir.V("tid"), Val: ir.FV("acc")},
+	}
+}
+
+// hostChunkedDot reproduces the device reduction order: per-thread chunk
+// partials summed in thread order.
+func hostChunkedDot(c *workload.Ctx, n int64, x, y string) float64 {
+	nt := int64(c.Threads)
+	chunk := (n + nt - 1) / nt
+	total := 0.0
+	for t := int64(0); t < nt; t++ {
+		lo, hi := t*chunk, (t+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		acc := 0.0
+		for i := lo; i < hi; i++ {
+			// The device's reduction uses a fused multiply-add.
+			acc = math.FMA(c.ReadF64(x, i), c.ReadF64(y, i), acc)
+		}
+		total += acc
+	}
+	return total
+}

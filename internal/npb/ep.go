@@ -1,0 +1,133 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	ir "repro/internal/loopir"
+	"repro/internal/workload"
+)
+
+// EP is the embarrassingly parallel kernel: each thread runs a linear
+// congruential generator in registers and accumulates statistics of the
+// generated deviates, touching memory only for its per-thread results.
+// With almost no memory traffic there are almost no prefetches (Table 1:
+// 17 lfetch) and no coherent misses — the paper excludes EP from the
+// optimization results for exactly that reason, and COBRA's trigger must
+// stay silent on it.
+func EP(p Params) *workload.Workload {
+	batch, iters := int64(1<<14), p.iters(4)
+	if p.Class == ClassT {
+		batch, iters = 1<<8, p.iters(2)
+	}
+	const maxThreads = 16
+	const (
+		lcgMulA = 1220703125      // NPB's 5^13 multiplier
+		lcgMask = (1 << 46) - 1   // 2^46 modulus
+		scale   = 1.0 / (1 << 46) // to [0,1)
+	)
+
+	prog := &ir.Program{
+		Name: "ep",
+		Arrays: []ir.Array{
+			{Name: "sx", Kind: ir.F64, Elems: maxThreads},
+			{Name: "sy", Kind: ir.F64, Elems: maxThreads},
+			{Name: "seeds", Kind: ir.I64, Elems: maxThreads},
+		},
+		Funcs: []*ir.Func{
+			{
+				// Skip the generator ahead to this thread's stream: a
+				// data-dependent do-while (br.wtop).
+				Name:     "ep_seed",
+				Parallel: true,
+				Body: []ir.Stmt{
+					ir.SetI{Name: "s", Val: ir.I(271828183)},
+					ir.SetI{Name: "k", Val: ir.IAdd(ir.V("tid"), ir.I(1))},
+					ir.While{
+						Body: []ir.Stmt{
+							ir.SetI{Name: "s", Val: ir.IAnd(ir.IMul(ir.V("s"), ir.I(lcgMulA)), ir.I(lcgMask))},
+							ir.SetI{Name: "k", Val: ir.ISub(ir.V("k"), ir.I(1))},
+						},
+						Cond: ir.Cond{Rel: ir.GT, A: ir.V("k"), B: ir.I(0)},
+					},
+					ir.IStore{Array: "seeds", Index: ir.V("tid"), Val: ir.V("s")},
+				},
+			},
+			{
+				// The main batch: generate pairs, accumulate Σx and Σx*y.
+				Name:     "ep_batch",
+				Parallel: true,
+				Body: []ir.Stmt{
+					ir.SetI{Name: "s", Val: ir.IAt("seeds", ir.V("tid"))},
+					ir.SetF{Name: "ax", Val: ir.F(0)},
+					ir.SetF{Name: "ay", Val: ir.F(0)},
+					ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.SetI{Name: "s", Val: ir.IAnd(ir.IMul(ir.V("s"), ir.I(lcgMulA)), ir.I(lcgMask))},
+						ir.SetF{Name: "x", Val: ir.FMul(ir.FFromInt{E: ir.V("s")}, ir.F(scale))},
+						ir.SetI{Name: "s", Val: ir.IAnd(ir.IMul(ir.V("s"), ir.I(lcgMulA)), ir.I(lcgMask))},
+						ir.SetF{Name: "y", Val: ir.FMul(ir.FFromInt{E: ir.V("s")}, ir.F(scale))},
+						ir.SetF{Name: "ax", Val: ir.FAdd(ir.FV("ax"), ir.FV("x"))},
+						ir.SetF{Name: "ay", Val: ir.FAdd(ir.FV("ay"), ir.FMul(ir.FV("x"), ir.FV("y")))},
+					}},
+					ir.FStore{Array: "sx", Index: ir.V("tid"), Val: ir.FAdd(ir.At("sx", ir.V("tid")), ir.FV("ax"))},
+					ir.FStore{Array: "sy", Index: ir.V("tid"), Val: ir.FAdd(ir.At("sy", ir.V("tid")), ir.FV("ay"))},
+					ir.IStore{Array: "seeds", Index: ir.V("tid"), Val: ir.V("s")},
+				},
+			},
+		},
+	}
+
+	return &workload.Workload{
+		Name: "ep",
+		Prog: prog,
+		Setup: func(c *workload.Ctx) error {
+			for t := int64(0); t < maxThreads; t++ {
+				c.WriteF64("sx", t, 0)
+				c.WriteF64("sy", t, 0)
+				c.WriteI64("seeds", t, 0)
+			}
+			return nil
+		},
+		Run: func(c *workload.Ctx) error {
+			if err := c.ParallelFor("ep_seed", int64(c.Threads), nil); err != nil {
+				return err
+			}
+			for it := 0; it < iters; it++ {
+				if err := c.ParallelFor("ep_batch", batch, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Verify: func(c *workload.Ctx) error {
+			// Replicate thread 0's stream on the host.
+			nt := int64(c.Threads)
+			chunk := (batch + nt - 1) / nt
+			s := int64(271828183)
+			adv := func() int64 {
+				s = (s * lcgMulA) & lcgMask
+				return s
+			}
+			adv() // tid 0 skips once
+			sx, sy := 0.0, 0.0
+			for it := 0; it < iters; it++ {
+				ax, ay := 0.0, 0.0
+				for i := int64(0); i < chunk; i++ {
+					x := float64(adv()) * scale
+					y := float64(adv()) * scale
+					ax += x
+					ay = math.FMA(x, y, ay) // the device fuses x*y+ay
+				}
+				sx += ax // the device folds per-batch partials into sx
+				sy += ay
+			}
+			if got := c.ReadF64("sx", 0); got != sx {
+				return fmt.Errorf("ep: sx[0] = %v, want %v", got, sx)
+			}
+			if got := c.ReadF64("sy", 0); math.Abs(got-sy) > 0 {
+				return fmt.Errorf("ep: sy[0] = %v, want %v", got, sy)
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,303 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ia64"
+	ir "repro/internal/loopir"
+	"repro/internal/workload"
+)
+
+// FT is the 3D FFT kernel, structured the way parallel FFTs run on shared
+// memory: a pointwise evolve by spectral factors, row-local butterfly
+// passes (every thread owns whole rows, all threads busy at every span),
+// and transposes between dimensions. The transpose is FT's coherence
+// hotspot — every thread writes columns of data the other threads just
+// produced — and its strided streams attract aggressive prefetching.
+func FT(p Params) *workload.Workload {
+	rows, cols, iters := int64(128), int64(128), p.iters(10)
+	if p.Class == ClassT {
+		rows, cols, iters = 16, 16, p.iters(2)
+	}
+	n := rows * cols
+	const maxThreads = 16
+	twid := cols
+
+	prog := &ir.Program{
+		Name: "ft",
+		Arrays: []ir.Array{
+			{Name: "re", Kind: ir.F64, Elems: n},
+			{Name: "im", Kind: ir.F64, Elems: n},
+			{Name: "re2", Kind: ir.F64, Elems: n},
+			{Name: "im2", Kind: ir.F64, Elems: n},
+			{Name: "wre", Kind: ir.F64, Elems: twid},
+			{Name: "wim", Kind: ir.F64, Elems: twid},
+			{Name: "partial", Kind: ir.F64, Elems: 2 * maxThreads},
+			{Name: "sums", Kind: ir.F64, Elems: 4},
+			{Name: "logs", Kind: ir.I64, Elems: 2},
+		},
+		Funcs: []*ir.Func{
+			{
+				// evolve: pointwise complex rotation by the twiddle table.
+				Name:     "ft_evolve",
+				Parallel: true,
+				Body: []ir.Stmt{
+					ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.SetF{Name: "a", Val: ir.At("re", ir.V("i"))},
+						ir.SetF{Name: "b", Val: ir.At("im", ir.V("i"))},
+						ir.SetF{Name: "c", Val: ir.At("wre", ir.IAnd(ir.V("i"), ir.I(twid-1)))},
+						ir.SetF{Name: "s", Val: ir.At("wim", ir.IAnd(ir.V("i"), ir.I(twid-1)))},
+						ir.FStore{Array: "re", Index: ir.V("i"),
+							Val: ir.FSub(ir.FMul(ir.FV("a"), ir.FV("c")), ir.FMul(ir.FV("b"), ir.FV("s")))},
+						ir.FStore{Array: "im", Index: ir.V("i"),
+							Val: ir.FAdd(ir.FMul(ir.FV("a"), ir.FV("s")), ir.FMul(ir.FV("b"), ir.FV("c")))},
+					}},
+				},
+			},
+			{
+				// rowfft: one butterfly pass at the given span, every
+				// thread sweeping its own rows. The host drives one call
+				// per span; groups = cols/(2*span).
+				Name:      "ft_rowfft",
+				Parallel:  true,
+				IntParams: []string{"span", "groups"},
+				Body: []ir.Stmt{
+					ir.For{Var: "r", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.For{Var: "g", Lo: ir.I(0), Hi: ir.V("groups"), Body: []ir.Stmt{
+							ir.For{Var: "t",
+								Lo: ir.IAdd(ir.IMul(ir.V("r"), ir.I(cols)), ir.IMul(ir.V("g"), ir.IMul(ir.I(2), ir.V("span")))),
+								Hi: ir.IAdd(ir.IAdd(ir.IMul(ir.V("r"), ir.I(cols)), ir.IMul(ir.V("g"), ir.IMul(ir.I(2), ir.V("span")))), ir.V("span")),
+								Body: []ir.Stmt{
+									ir.SetF{Name: "a", Val: ir.At("re", ir.V("t"))},
+									ir.SetF{Name: "ai", Val: ir.At("im", ir.V("t"))},
+									ir.SetF{Name: "b", Val: ir.At("re", ir.IAdd(ir.V("t"), ir.V("span")))},
+									ir.SetF{Name: "bi", Val: ir.At("im", ir.IAdd(ir.V("t"), ir.V("span")))},
+									ir.SetF{Name: "c", Val: ir.At("wre", ir.IAnd(ir.V("t"), ir.I(twid-1)))},
+									ir.SetF{Name: "s", Val: ir.At("wim", ir.IAnd(ir.V("t"), ir.I(twid-1)))},
+									ir.SetF{Name: "dr", Val: ir.FSub(ir.FV("a"), ir.FV("b"))},
+									ir.SetF{Name: "di", Val: ir.FSub(ir.FV("ai"), ir.FV("bi"))},
+									ir.FStore{Array: "re", Index: ir.V("t"), Val: ir.FAdd(ir.FV("a"), ir.FV("b"))},
+									ir.FStore{Array: "im", Index: ir.V("t"), Val: ir.FAdd(ir.FV("ai"), ir.FV("bi"))},
+									ir.FStore{Array: "re", Index: ir.IAdd(ir.V("t"), ir.V("span")),
+										Val: ir.FSub(ir.FMul(ir.FV("dr"), ir.FV("c")), ir.FMul(ir.FV("di"), ir.FV("s")))},
+									ir.FStore{Array: "im", Index: ir.IAdd(ir.V("t"), ir.V("span")),
+										Val: ir.FAdd(ir.FMul(ir.FV("dr"), ir.FV("s")), ir.FMul(ir.FV("di"), ir.FV("c")))},
+								}},
+						}},
+					}},
+				},
+			},
+			{
+				// transpose: re2/im2[c*rows+r] = re/im[r*cols+c]. The
+				// strided write streams cross every other thread's freshly
+				// written rows — FT's coherent-miss hotspot.
+				Name:     "ft_transpose",
+				Parallel: true,
+				Body:     transposeBody(rows, cols, "re", "im", "re2", "im2"),
+			},
+			{
+				// transpose back after the column pass.
+				Name:     "ft_transpose_back",
+				Parallel: true,
+				Body:     transposeBody(cols, rows, "re2", "im2", "re", "im"),
+			},
+			{
+				// scale: multiply by 1/n after the backward pass, as the
+				// inverse transform normalizes (two-stage pipelined).
+				Name:     "ft_scale",
+				Parallel: true,
+				Body: []ir.Stmt{
+					ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.FStore{Array: "re", Index: ir.V("i"),
+							Val: ir.FMul(ir.At("re", ir.V("i")), ir.F(0.5))},
+					}},
+					ir.For{Var: "i2", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.FStore{Array: "im", Index: ir.V("i2"),
+							Val: ir.FMul(ir.At("im", ir.V("i2")), ir.F(0.5))},
+					}},
+				},
+			},
+			{
+				// checksum: per-thread partial sums of re and im.
+				Name:     "ft_checksum",
+				Parallel: true,
+				Body: []ir.Stmt{
+					ir.SetF{Name: "sr", Val: ir.F(0)},
+					ir.SetF{Name: "si", Val: ir.F(0)},
+					ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.SetF{Name: "sr", Val: ir.FAdd(ir.FV("sr"), ir.At("re", ir.V("i")))},
+						ir.SetF{Name: "si", Val: ir.FAdd(ir.FV("si"), ir.At("im", ir.V("i")))},
+					}},
+					ir.FStore{Array: "partial", Index: ir.V("tid"), Val: ir.FV("sr")},
+					ir.FStore{Array: "partial", Index: ir.IAdd(ir.V("tid"), ir.I(maxThreads)), Val: ir.FV("si")},
+				},
+			},
+			{
+				// combine: master folds the partials into sums[0..1].
+				Name:      "ft_combine",
+				IntParams: []string{"nt"},
+				Body: []ir.Stmt{
+					ir.SetF{Name: "sr", Val: ir.F(0)},
+					ir.SetF{Name: "si", Val: ir.F(0)},
+					ir.For{Var: "t", Lo: ir.I(0), Hi: ir.V("nt"), Hint: ir.HintCounted, Body: []ir.Stmt{
+						ir.SetF{Name: "sr", Val: ir.FAdd(ir.FV("sr"), ir.At("partial", ir.V("t")))},
+						ir.SetF{Name: "si", Val: ir.FAdd(ir.FV("si"), ir.At("partial", ir.IAdd(ir.V("t"), ir.I(maxThreads))))},
+					}},
+					ir.FStore{Array: "sums", Index: ir.I(0), Val: ir.FV("sr")},
+					ir.FStore{Array: "sums", Index: ir.I(1), Val: ir.FV("si")},
+				},
+			},
+			{
+				// setup: log2(cols) by repeated halving (br.wtop), as the
+				// FFT plan setup computes pass counts.
+				Name:      "ft_setup",
+				IntParams: []string{"n"},
+				Body: []ir.Stmt{
+					ir.SetI{Name: "lg", Val: ir.I(0)},
+					ir.While{
+						Body: []ir.Stmt{
+							ir.SetI{Name: "n", Val: ir.IShr(ir.V("n"), ir.I(1))},
+							ir.SetI{Name: "lg", Val: ir.IAdd(ir.V("lg"), ir.I(1))},
+						},
+						Cond: ir.Cond{Rel: ir.GT, A: ir.V("n"), B: ir.I(1)},
+					},
+					ir.IStore{Array: "logs", Index: ir.I(0), Val: ir.V("lg")},
+				},
+			},
+		},
+	}
+
+	return &workload.Workload{
+		Name: "ft",
+		Prog: prog,
+		Setup: func(c *workload.Ctx) error {
+			rng := newLCG(6400)
+			for i := int64(0); i < n; i++ {
+				c.WriteF64("re", i, rng.f64()-0.5)
+				c.WriteF64("im", i, rng.f64()-0.5)
+				c.WriteF64("re2", i, 0)
+				c.WriteF64("im2", i, 0)
+			}
+			for i := int64(0); i < twid; i++ {
+				th := 2 * math.Pi * float64(i) / float64(twid)
+				c.WriteF64("wre", i, math.Cos(th))
+				c.WriteF64("wim", i, math.Sin(th))
+			}
+			return nil
+		},
+		Run: func(c *workload.Ctx) error {
+			if err := c.Serial("ft_setup", func(tid int, rf *ia64.RegFile) {
+				rf.SetGR(c.IntArg("ft_setup", "n"), cols)
+			}); err != nil {
+				return err
+			}
+			rowPass := func() error {
+				for span := int64(1); span < cols; span *= 2 {
+					span := span
+					err := c.ParallelFor("ft_rowfft", rows, func(tid int, rf *ia64.RegFile) {
+						rf.SetGR(c.IntArg("ft_rowfft", "span"), span)
+						rf.SetGR(c.IntArg("ft_rowfft", "groups"), cols/(2*span))
+					})
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for it := 0; it < iters; it++ {
+				if err := c.ParallelFor("ft_evolve", n, nil); err != nil {
+					return err
+				}
+				if err := rowPass(); err != nil { // dimension 1
+					return err
+				}
+				if err := c.ParallelFor("ft_transpose", rows, nil); err != nil {
+					return err
+				}
+				if err := c.ParallelFor("ft_transpose_back", cols, nil); err != nil {
+					return err
+				}
+				if err := c.ParallelFor("ft_scale", n, nil); err != nil {
+					return err
+				}
+			}
+			if err := c.ParallelFor("ft_checksum", n, nil); err != nil {
+				return err
+			}
+			return c.Serial("ft_combine", func(tid int, rf *ia64.RegFile) {
+				rf.SetGR(c.IntArg("ft_combine", "nt"), int64(c.Threads))
+			})
+		},
+		Verify: func(c *workload.Ctx) error {
+			if got := c.ReadI64("logs", 0); got != hostLevels2(cols) {
+				return fmt.Errorf("ft: log2 = %d, want %d", got, hostLevels2(cols))
+			}
+			// A transpose there-and-back is the identity: re2 must be the
+			// exact transpose of the final re.
+			for _, pt := range [][2]int64{{1, 2}, {rows / 2, cols / 3}, {rows - 1, cols - 1}} {
+				r, cc := pt[0], pt[1]
+				// The final scale halves re after the transposes, so the
+				// stale transpose buffer holds twice the final value.
+				if got, want := c.ReadF64("re2", cc*rows+r), 2*c.ReadF64("re", r*cols+cc); got != want {
+					return fmt.Errorf("ft: transpose mismatch at (%d,%d): %v vs %v", r, cc, got, want)
+				}
+			}
+			// Device checksum must equal the host's chunk-ordered sum of
+			// the final arrays, and be finite.
+			wantR, wantI := hostChunkedSum(c, n, "re"), hostChunkedSum(c, n, "im")
+			gotR, gotI := c.ReadF64("sums", 0), c.ReadF64("sums", 1)
+			if math.IsNaN(gotR) || math.IsNaN(gotI) {
+				return fmt.Errorf("ft: checksum NaN (%v, %v)", gotR, gotI)
+			}
+			if gotR != wantR || gotI != wantI {
+				return fmt.Errorf("ft: checksum (%v,%v) != host (%v,%v)", gotR, gotI, wantR, wantI)
+			}
+			return nil
+		},
+	}
+}
+
+// transposeBody writes dst[c*dstStride+r] = src[r*srcCols+c] for the
+// thread's rows r, for both complex components.
+func transposeBody(nRows, nCols int64, srcRe, srcIm, dstRe, dstIm string) []ir.Stmt {
+	src := func(a string) ir.IntExpr { return ir.IAdd(ir.IMul(ir.V("r"), ir.I(nCols)), ir.V("c")) }
+	dst := func(a string) ir.IntExpr { return ir.IAdd(ir.IMul(ir.V("c"), ir.I(nRows)), ir.V("r")) }
+	return []ir.Stmt{
+		ir.For{Var: "r", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+			ir.For{Var: "c", Lo: ir.I(0), Hi: ir.I(nCols), Body: []ir.Stmt{
+				ir.FStore{Array: dstRe, Index: dst(dstRe), Val: ir.At(srcRe, src(srcRe))},
+				ir.FStore{Array: dstIm, Index: dst(dstIm), Val: ir.At(srcIm, src(srcIm))},
+			}},
+		}},
+	}
+}
+
+// hostLevels2 mirrors ft_setup: floor(log2(n)).
+func hostLevels2(n int64) int64 {
+	lg := int64(0)
+	for n > 1 {
+		n >>= 1
+		lg++
+	}
+	return lg
+}
+
+// hostChunkedSum reproduces the device checksum order.
+func hostChunkedSum(c *workload.Ctx, n int64, arr string) float64 {
+	nt := int64(c.Threads)
+	chunk := (n + nt - 1) / nt
+	total := 0.0
+	for t := int64(0); t < nt; t++ {
+		lo, hi := t*chunk, (t+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		acc := 0.0
+		for i := lo; i < hi; i++ {
+			acc += c.ReadF64(arr, i)
+		}
+		total += acc
+	}
+	return total
+}

@@ -1,0 +1,234 @@
+package npb
+
+import (
+	"fmt"
+
+	"repro/internal/ia64"
+	ir "repro/internal/loopir"
+	"repro/internal/workload"
+)
+
+// IS is the integer sort kernel: bucket counting of random keys into
+// per-thread histograms (a data-dependent scatter), a parallel merge of
+// the per-thread histograms, and a serial prefix sum to produce bucket
+// ranks. Like EP it shows no long-latency coherent misses at this scale
+// and is excluded from the paper's optimization results, but its compiled
+// form contributes to Table 1.
+func IS(p Params) *workload.Workload {
+	nk, iters := int64(1<<15), p.iters(4)
+	if p.Class == ClassT {
+		nk, iters = 1<<9, p.iters(2)
+	}
+	const (
+		maxThreads = 16
+		logBuckets = 10
+		buckets    = 1 << logBuckets
+	)
+	keyMax := int64(buckets << 6)
+
+	prog := &ir.Program{
+		Name: "is",
+		Arrays: []ir.Array{
+			{Name: "keys", Kind: ir.I64, Elems: nk},
+			{Name: "hist", Kind: ir.I64, Elems: maxThreads * buckets},
+			{Name: "histg", Kind: ir.I64, Elems: buckets},
+			{Name: "ranks", Kind: ir.I64, Elems: buckets},
+			{Name: "cursor", Kind: ir.I64, Elems: buckets},
+			{Name: "sorted", Kind: ir.I64, Elems: nk},
+			{Name: "check", Kind: ir.I64, Elems: 4},
+		},
+		Funcs: []*ir.Func{
+			{
+				// Clear this thread's histogram slice.
+				Name:     "is_clear",
+				Parallel: true,
+				Body: []ir.Stmt{
+					ir.For{Var: "b", Lo: ir.I(0), Hi: ir.I(buckets), Body: []ir.Stmt{
+						ir.IStore{Array: "hist",
+							Index: ir.IAdd(ir.IMul(ir.V("tid"), ir.I(buckets)), ir.V("b")),
+							Val:   ir.I(0)},
+					}},
+				},
+			},
+			{
+				// Bucket counting: a scatter through the key value.
+				Name:     "is_hist",
+				Parallel: true,
+				Body: []ir.Stmt{
+					ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.SetI{Name: "b", Val: ir.IShr(ir.IAt("keys", ir.V("i")), ir.I(6))},
+						ir.SetI{Name: "slot", Val: ir.IAdd(ir.IMul(ir.V("tid"), ir.I(buckets)), ir.V("b"))},
+						ir.IStore{Array: "hist", Index: ir.V("slot"),
+							Val: ir.IAdd(ir.IAt("hist", ir.V("slot")), ir.I(1))},
+					}},
+				},
+			},
+			{
+				// Merge the per-thread histograms: parallel over buckets,
+				// each summing a strided column of hist.
+				Name:      "is_merge",
+				Parallel:  true,
+				IntParams: []string{"nt"},
+				Body: []ir.Stmt{
+					ir.For{Var: "b", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.SetI{Name: "acc", Val: ir.I(0)},
+						ir.For{Var: "t", Lo: ir.I(0), Hi: ir.V("nt"), Hint: ir.HintCounted, Body: []ir.Stmt{
+							ir.SetI{Name: "acc", Val: ir.IAdd(ir.V("acc"),
+								ir.IAt("hist", ir.IAdd(ir.IMul(ir.V("t"), ir.I(buckets)), ir.V("b"))))},
+						}},
+						ir.IStore{Array: "histg", Index: ir.V("b"), Val: ir.V("acc")},
+					}},
+				},
+			},
+			{
+				// Serial prefix sum over the merged histogram.
+				Name: "is_prefix",
+				Body: []ir.Stmt{
+					ir.SetI{Name: "run", Val: ir.I(0)},
+					ir.For{Var: "b", Lo: ir.I(0), Hi: ir.I(buckets), Hint: ir.HintCounted, Body: []ir.Stmt{
+						ir.IStore{Array: "ranks", Index: ir.V("b"), Val: ir.V("run")},
+						ir.SetI{Name: "run", Val: ir.IAdd(ir.V("run"), ir.IAt("histg", ir.V("b")))},
+					}},
+					ir.IStore{Array: "check", Index: ir.I(0), Val: ir.V("run")},
+				},
+			},
+			{
+				// Seed the per-bucket output cursors from the ranks.
+				Name:     "is_cursors",
+				Parallel: true,
+				Body: []ir.Stmt{
+					ir.For{Var: "b", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.IStore{Array: "cursor", Index: ir.V("b"),
+							Val: ir.IAt("ranks", ir.V("b"))},
+					}},
+				},
+			},
+			{
+				// Permute the keys into bucket order (the counting-sort
+				// scatter). The real IS serializes this phase too: the
+				// cursor read-modify-writes race under parallelism.
+				Name: "is_permute",
+				Body: []ir.Stmt{
+					ir.For{Var: "i", Lo: ir.I(0), Hi: ir.I(nk), Hint: ir.HintCounted, Body: []ir.Stmt{
+						ir.SetI{Name: "kv", Val: ir.IAt("keys", ir.V("i"))},
+						ir.SetI{Name: "b", Val: ir.IShr(ir.V("kv"), ir.I(6))},
+						ir.SetI{Name: "pos", Val: ir.IAt("cursor", ir.V("b"))},
+						ir.IStore{Array: "sorted", Index: ir.V("pos"), Val: ir.V("kv")},
+						ir.IStore{Array: "cursor", Index: ir.V("b"),
+							Val: ir.IAdd(ir.V("pos"), ir.I(1))},
+					}},
+				},
+			},
+			{
+				// Full-verification helper of the real IS: confirm the
+				// largest occupied bucket by a downward scan (br.wtop).
+				Name: "is_maxbucket",
+				Body: []ir.Stmt{
+					ir.SetI{Name: "b", Val: ir.I(buckets)},
+					ir.While{
+						Body: []ir.Stmt{
+							ir.SetI{Name: "b", Val: ir.ISub(ir.V("b"), ir.I(1))},
+						},
+						Cond: ir.Cond{Rel: ir.EQ, A: ir.IAt("histg", ir.V("b")), B: ir.I(0)},
+					},
+					ir.IStore{Array: "check", Index: ir.I(1), Val: ir.V("b")},
+				},
+			},
+		},
+	}
+
+	return &workload.Workload{
+		Name: "is",
+		Prog: prog,
+		Setup: func(c *workload.Ctx) error {
+			rng := newLCG(6553)
+			for i := int64(0); i < nk; i++ {
+				c.WriteI64("keys", i, rng.intn(keyMax))
+			}
+			return nil
+		},
+		Run: func(c *workload.Ctx) error {
+			nt := int64(c.Threads)
+			for it := 0; it < iters; it++ {
+				if err := c.ParallelFor("is_clear", nt, nil); err != nil {
+					return err
+				}
+				if err := c.ParallelFor("is_hist", nk, nil); err != nil {
+					return err
+				}
+				err := c.ParallelFor("is_merge", buckets, func(tid int, rf *ia64.RegFile) {
+					rf.SetGR(c.IntArg("is_merge", "nt"), nt)
+				})
+				if err != nil {
+					return err
+				}
+				if err := c.Serial("is_prefix", nil); err != nil {
+					return err
+				}
+				if err := c.ParallelFor("is_cursors", buckets, nil); err != nil {
+					return err
+				}
+				if err := c.Serial("is_permute", nil); err != nil {
+					return err
+				}
+				if err := c.Serial("is_maxbucket", nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Verify: func(c *workload.Ctx) error {
+			if got := c.ReadI64("check", 0); got != nk {
+				return fmt.Errorf("is: prefix total = %d, want %d", got, nk)
+			}
+			// Host-recompute the global histogram and ranks.
+			hist := make([]int64, buckets)
+			maxB := int64(0)
+			for i := int64(0); i < nk; i++ {
+				b := c.ReadI64("keys", i) >> 6
+				hist[b]++
+				if b > maxB && hist[b] > 0 {
+					maxB = b
+				}
+			}
+			run := int64(0)
+			for b := 0; b < buckets; b++ {
+				if got := c.ReadI64("ranks", int64(b)); got != run {
+					return fmt.Errorf("is: ranks[%d] = %d, want %d", b, got, run)
+				}
+				if got := c.ReadI64("histg", int64(b)); got != hist[b] {
+					return fmt.Errorf("is: histg[%d] = %d, want %d", b, got, hist[b])
+				}
+				run += hist[b]
+			}
+			for b := int64(buckets - 1); b >= 0; b-- {
+				if hist[b] != 0 {
+					maxB = b
+					break
+				}
+			}
+			if got := c.ReadI64("check", 1); got != maxB {
+				return fmt.Errorf("is: max bucket = %d, want %d", got, maxB)
+			}
+			// The permuted keys must be bucket-ordered (sorted by key>>6)
+			// and a permutation of the inputs (same histogram).
+			prev := int64(-1)
+			recount := make([]int64, buckets)
+			for i := int64(0); i < nk; i++ {
+				k := c.ReadI64("sorted", i)
+				b := k >> 6
+				if b < prev {
+					return fmt.Errorf("is: sorted[%d] bucket %d after %d", i, b, prev)
+				}
+				prev = b
+				recount[b]++
+			}
+			for b := 0; b < buckets; b++ {
+				if recount[b] != hist[b] {
+					return fmt.Errorf("is: bucket %d has %d keys after permute, want %d", b, recount[b], hist[b])
+				}
+			}
+			return nil
+		},
+	}
+}

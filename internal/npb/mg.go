@@ -1,0 +1,322 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ia64"
+	ir "repro/internal/loopir"
+	"repro/internal/workload"
+)
+
+// MG is the multigrid kernel: a simplified V-cycle on a 3D grid — residual
+// (7-point stencil), restriction to a coarser grid, smoothing on both
+// levels, and prolongation back. Threads split the outermost grid
+// dimension, so every thread's boundary planes are written by it and read
+// by its neighbours: true sharing that prefetch overshoot amplifies.
+func MG(p Params) *workload.Workload {
+	ng, iters := int64(32), p.iters(16)
+	if p.Class == ClassT {
+		ng, iters = 8, p.iters(2)
+	}
+	nc := ng / 2
+	nc2 := nc / 2
+	fine := ng * ng * ng
+	coarse := nc * nc * nc
+	coarse2 := nc2 * nc2 * nc2
+
+	// idx(i+1, j+1, k) with i, j the interior loop variables.
+	fidx := func(iv, jv, kv string) ir.IntExpr {
+		return ir.IAdd(
+			ir.IMul(ir.IAdd(ir.IMul(ir.IAdd(ir.V(iv), ir.I(1)), ir.I(ng)), ir.IAdd(ir.V(jv), ir.I(1))), ir.I(ng)),
+			ir.V(kv))
+	}
+	cidx := func(iv, jv, kv string) ir.IntExpr {
+		return ir.IAdd(
+			ir.IMul(ir.IAdd(ir.IMul(ir.IAdd(ir.V(iv), ir.I(1)), ir.I(nc)), ir.IAdd(ir.V(jv), ir.I(1))), ir.I(nc)),
+			ir.V(kv))
+	}
+	c2idx := func(iv, jv, kv string) ir.IntExpr {
+		return ir.IAdd(
+			ir.IMul(ir.IAdd(ir.IMul(ir.IAdd(ir.V(iv), ir.I(1)), ir.I(nc2)), ir.IAdd(ir.V(jv), ir.I(1))), ir.I(nc2)),
+			ir.V(kv))
+	}
+
+	// stencil7 builds center*c0 + (six neighbours)*c1 over array arr at
+	// base index e with plane stride s.
+	stencil7 := func(arr string, e ir.IntExpr, s int64, c0, c1 float64) ir.FloatExpr {
+		sum := ir.FAdd(ir.At(arr, ir.ISub(e, ir.I(1))), ir.At(arr, ir.IAdd(e, ir.I(1))))
+		sum2 := ir.FAdd(ir.At(arr, ir.ISub(e, ir.I(s))), ir.At(arr, ir.IAdd(e, ir.I(s))))
+		sum3 := ir.FAdd(ir.At(arr, ir.ISub(e, ir.I(s*s))), ir.At(arr, ir.IAdd(e, ir.I(s*s))))
+		return ir.FAdd(ir.FMul(ir.F(c0), ir.At(arr, e)),
+			ir.FMul(ir.F(c1), ir.FAdd(sum, ir.FAdd(sum2, sum3))))
+	}
+
+	// sweep builds the canonical interior triple nest: parallel over i,
+	// then j, with an innermost software-pipelinable k loop running one
+	// statement.
+	sweep := func(n int64, kBody func() []ir.Stmt) []ir.Stmt {
+		return []ir.Stmt{
+			ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+				ir.For{Var: "j", Lo: ir.I(0), Hi: ir.I(n - 2), Body: []ir.Stmt{
+					ir.For{Var: "k", Lo: ir.I(1), Hi: ir.I(n - 1), Body: kBody()},
+				}},
+			}},
+		}
+	}
+
+	prog := &ir.Program{
+		Name: "mg",
+		Arrays: []ir.Array{
+			{Name: "u", Kind: ir.F64, Elems: fine},
+			{Name: "v", Kind: ir.F64, Elems: fine},
+			{Name: "r", Kind: ir.F64, Elems: fine},
+			{Name: "u2", Kind: ir.F64, Elems: coarse},
+			{Name: "r2", Kind: ir.F64, Elems: coarse},
+			{Name: "u3", Kind: ir.F64, Elems: coarse2},
+			{Name: "r3", Kind: ir.F64, Elems: coarse2},
+			{Name: "lev", Kind: ir.I64, Elems: 4},
+		},
+		Funcs: []*ir.Func{
+			{
+				// resid: r = v - A*u on the fine grid.
+				Name:     "mg_resid",
+				Parallel: true,
+				Body: sweep(ng, func() []ir.Stmt {
+					return []ir.Stmt{
+						ir.FStore{Array: "r", Index: fidx("i", "j", "k"),
+							Val: ir.FSub(ir.At("v", fidx("i", "j", "k")),
+								stencil7("u", fidx("i", "j", "k"), ng, -8.0/3.0, 1.0/6.0))},
+					}
+				}),
+			},
+			{
+				// psinv: u += smoother(r) on the fine grid.
+				Name:     "mg_psinv",
+				Parallel: true,
+				Body: sweep(ng, func() []ir.Stmt {
+					return []ir.Stmt{
+						ir.FStore{Array: "u", Index: fidx("i", "j", "k"),
+							Val: ir.FAdd(ir.At("u", fidx("i", "j", "k")),
+								stencil7("r", fidx("i", "j", "k"), ng, -3.0/8.0, 1.0/32.0))},
+					}
+				}),
+			},
+			{
+				// rprj3: restrict the fine residual onto the coarse grid
+				// (stride-2 gather of the fine grid).
+				Name:     "mg_rprj3",
+				Parallel: true,
+				Body: []ir.Stmt{
+					ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.For{Var: "j", Lo: ir.I(0), Hi: ir.I(nc - 2), Body: []ir.Stmt{
+							ir.For{Var: "k", Lo: ir.I(1), Hi: ir.I(nc - 1), Body: []ir.Stmt{
+								ir.FStore{Array: "r2", Index: cidx("i", "j", "k"),
+									Val: ir.FAdd(
+										ir.FMul(ir.F(0.5), ir.At("r", fineOfCoarse(ng, "i", "j", "k", 0))),
+										ir.FMul(ir.F(0.25),
+											ir.FAdd(ir.At("r", fineOfCoarse(ng, "i", "j", "k", -1)),
+												ir.At("r", fineOfCoarse(ng, "i", "j", "k", 1)))))},
+							}},
+						}},
+					}},
+				},
+			},
+			{
+				// coarse smoother: u2 += smoother(r2).
+				Name:     "mg_psinv2",
+				Parallel: true,
+				Body: sweep(nc, func() []ir.Stmt {
+					return []ir.Stmt{
+						ir.FStore{Array: "u2", Index: cidx("i", "j", "k"),
+							Val: ir.FAdd(ir.At("u2", cidx("i", "j", "k")),
+								stencil7("r2", cidx("i", "j", "k"), nc, -3.0/8.0, 1.0/32.0))},
+					}
+				}),
+			},
+			{
+				// interp: prolongate the coarse correction onto the fine
+				// grid (each coarse point feeds two fine points).
+				Name:     "mg_interp",
+				Parallel: true,
+				Body: []ir.Stmt{
+					ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.For{Var: "j", Lo: ir.I(0), Hi: ir.I(nc - 2), Body: []ir.Stmt{
+							ir.For{Var: "k", Lo: ir.I(1), Hi: ir.I(nc - 1), Hint: ir.HintCounted, Body: []ir.Stmt{
+								ir.FStore{Array: "u", Index: fineOfCoarse(ng, "i", "j", "k", 0),
+									Val: ir.FAdd(ir.At("u", fineOfCoarse(ng, "i", "j", "k", 0)),
+										ir.At("u2", cidx("i", "j", "k")))},
+								ir.FStore{Array: "u", Index: fineOfCoarse(ng, "i", "j", "k", 1),
+									Val: ir.FAdd(ir.At("u", fineOfCoarse(ng, "i", "j", "k", 1)),
+										ir.FMul(ir.F(0.5), ir.At("u2", cidx("i", "j", "k"))))},
+							}},
+						}},
+					}},
+				},
+			},
+			{
+				// second restriction: coarse residual onto the coarsest
+				// grid (stride-2 gather of the coarse grid).
+				Name:     "mg_rprj3_2",
+				Parallel: true,
+				Body: []ir.Stmt{
+					ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.For{Var: "j", Lo: ir.I(0), Hi: ir.I(nc2 - 2), Body: []ir.Stmt{
+							ir.For{Var: "k", Lo: ir.I(1), Hi: ir.I(nc2 - 1), Body: []ir.Stmt{
+								ir.FStore{Array: "r3", Index: c2idx("i", "j", "k"),
+									Val: ir.FAdd(
+										ir.FMul(ir.F(0.5), ir.At("r2", fineOfCoarse(nc, "i", "j", "k", 0))),
+										ir.FMul(ir.F(0.25),
+											ir.FAdd(ir.At("r2", fineOfCoarse(nc, "i", "j", "k", -1)),
+												ir.At("r2", fineOfCoarse(nc, "i", "j", "k", 1)))))},
+							}},
+						}},
+					}},
+				},
+			},
+			{
+				// coarsest smoother: u3 += smoother(r3).
+				Name:     "mg_psinv3",
+				Parallel: true,
+				Body: sweep(nc2, func() []ir.Stmt {
+					return []ir.Stmt{
+						ir.FStore{Array: "u3", Index: c2idx("i", "j", "k"),
+							Val: ir.FAdd(ir.At("u3", c2idx("i", "j", "k")),
+								stencil7("r3", c2idx("i", "j", "k"), nc2, -3.0/8.0, 1.0/32.0))},
+					}
+				}),
+			},
+			{
+				// second prolongation: coarsest correction onto the coarse
+				// grid.
+				Name:     "mg_interp2",
+				Parallel: true,
+				Body: []ir.Stmt{
+					ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
+						ir.For{Var: "j", Lo: ir.I(0), Hi: ir.I(nc2 - 2), Body: []ir.Stmt{
+							ir.For{Var: "k", Lo: ir.I(1), Hi: ir.I(nc2 - 1), Hint: ir.HintCounted, Body: []ir.Stmt{
+								ir.FStore{Array: "u2", Index: fineOfCoarse(nc, "i", "j", "k", 0),
+									Val: ir.FAdd(ir.At("u2", fineOfCoarse(nc, "i", "j", "k", 0)),
+										ir.At("u3", c2idx("i", "j", "k")))},
+								ir.FStore{Array: "u2", Index: fineOfCoarse(nc, "i", "j", "k", 1),
+									Val: ir.FAdd(ir.At("u2", fineOfCoarse(nc, "i", "j", "k", 1)),
+										ir.FMul(ir.F(0.5), ir.At("u3", c2idx("i", "j", "k"))))},
+							}},
+						}},
+					}},
+				},
+			},
+			{
+				// mg_levels: compute the number of multigrid levels from
+				// the grid size by repeated halving, as the real MG setup
+				// does — a do-while that lowers to br.wtop.
+				Name:      "mg_levels",
+				IntParams: []string{"n"},
+				Body: []ir.Stmt{
+					ir.SetI{Name: "levels", Val: ir.I(0)},
+					ir.While{
+						Body: []ir.Stmt{
+							ir.SetI{Name: "n", Val: ir.IShr(ir.V("n"), ir.I(1))},
+							ir.SetI{Name: "levels", Val: ir.IAdd(ir.V("levels"), ir.I(1))},
+						},
+						Cond: ir.Cond{Rel: ir.GT, A: ir.V("n"), B: ir.I(2)},
+					},
+					ir.IStore{Array: "lev", Index: ir.I(0), Val: ir.V("levels")},
+				},
+			},
+		},
+	}
+
+	return &workload.Workload{
+		Name: "mg",
+		Prog: prog,
+		Setup: func(c *workload.Ctx) error {
+			rng := newLCG(3200)
+			for i := int64(0); i < fine; i++ {
+				c.WriteF64("v", i, rng.f64()-0.5)
+				c.WriteF64("u", i, 0)
+				c.WriteF64("r", i, 0)
+			}
+			for i := int64(0); i < coarse; i++ {
+				c.WriteF64("u2", i, 0)
+				c.WriteF64("r2", i, 0)
+			}
+			for i := int64(0); i < coarse2; i++ {
+				c.WriteF64("u3", i, 0)
+				c.WriteF64("r3", i, 0)
+			}
+			return nil
+		},
+		Run: func(c *workload.Ctx) error {
+			if err := c.Serial("mg_levels", func(tid int, rf *ia64.RegFile) {
+				rf.SetGR(c.IntArg("mg_levels", "n"), ng)
+			}); err != nil {
+				return err
+			}
+			for it := 0; it < iters; it++ {
+				for _, step := range []struct {
+					fn   string
+					trip int64
+				}{
+					{"mg_resid", ng - 2},
+					{"mg_rprj3", nc - 2},
+					{"mg_rprj3_2", nc2 - 2},
+					{"mg_psinv3", nc2 - 2},
+					{"mg_interp2", nc2 - 2},
+					{"mg_psinv2", nc - 2},
+					{"mg_interp", nc - 2},
+					{"mg_psinv", ng - 2},
+					{"mg_resid", ng - 2},
+				} {
+					if err := c.ParallelFor(step.fn, step.trip, nil); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		Verify: func(c *workload.Ctx) error {
+			// The run ends with resid, so r = v - A*u must hold exactly at
+			// sampled interior points.
+			if got := c.ReadI64("lev", 0); got != hostLevels(ng) {
+				return fmt.Errorf("mg: levels = %d, want %d", got, hostLevels(ng))
+			}
+			at := func(a string, i, j, k int64) float64 {
+				return c.ReadF64(a, (i*ng+j)*ng+k)
+			}
+			for _, pt := range [][3]int64{{1, 1, 1}, {ng / 2, ng / 2, ng / 2}, {ng - 2, ng - 2, ng - 2}} {
+				i, j, k := pt[0], pt[1], pt[2]
+				want := at("v", i, j, k) - (-8.0/3.0*at("u", i, j, k) +
+					1.0/6.0*(at("u", i, j, k-1)+at("u", i, j, k+1)+
+						at("u", i, j-1, k)+at("u", i, j+1, k)+
+						at("u", i-1, j, k)+at("u", i+1, j, k)))
+				got := at("r", i, j, k)
+				if math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+					return fmt.Errorf("mg: r(%d,%d,%d) = %v, want %v", i, j, k, got, want)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// fineOfCoarse maps interior coarse point (i+1, j+1, k) to the fine index
+// 2*(coarse coords) + off in the k dimension.
+func fineOfCoarse(ng int64, iv, jv, kv string, off int64) ir.IntExpr {
+	i2 := ir.IMul(ir.IAdd(ir.V(iv), ir.I(1)), ir.I(2))
+	j2 := ir.IMul(ir.IAdd(ir.V(jv), ir.I(1)), ir.I(2))
+	k2 := ir.IAdd(ir.IMul(ir.V(kv), ir.I(2)), ir.I(off))
+	return ir.IAdd(ir.IMul(ir.IAdd(ir.IMul(i2, ir.I(ng)), j2), ir.I(ng)), k2)
+}
+
+// hostLevels mirrors mg_levels.
+func hostLevels(n int64) int64 {
+	levels := int64(0)
+	for {
+		n >>= 1
+		levels++
+		if n <= 2 {
+			return levels
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package npb
+
+import (
+	"testing"
+
+	"repro/internal/ia64"
+	"repro/internal/workload"
+)
+
+// runBench builds and runs one benchmark at tiny scale, returning the
+// instance for inspection. Verify hooks run inside.
+func runBench(t *testing.T, name string, threads int) *workload.Instance {
+	t.Helper()
+	w, err := Build(name, Params{Class: ClassT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := workload.Build(w, workload.SMPConfig(threads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestBTVerifies(t *testing.T) { runBench(t, "bt", 2) }
+func TestSPVerifies(t *testing.T) { runBench(t, "sp", 2) }
+func TestLUVerifies(t *testing.T) { runBench(t, "lu", 2) }
+func TestFTVerifies(t *testing.T) { runBench(t, "ft", 2) }
+func TestMGVerifies(t *testing.T) { runBench(t, "mg", 2) }
+func TestCGVerifies(t *testing.T) { runBench(t, "cg", 2) }
+func TestEPVerifies(t *testing.T) { runBench(t, "ep", 2) }
+func TestISVerifies(t *testing.T) { runBench(t, "is", 2) }
+
+func TestAllBenchmarksFourThreads(t *testing.T) {
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) { runBench(t, name, 4) })
+	}
+}
+
+func TestAllBenchmarksSingleThread(t *testing.T) {
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) { runBench(t, name, 1) })
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := Build("nope", Params{}); err == nil {
+		t.Fatal("accepted unknown benchmark")
+	}
+}
+
+func TestStaticCountsShape(t *testing.T) {
+	// Table 1's qualitative shape: every benchmark except EP carries a
+	// substantial number of prefetches; EP and IS are the lightest; SWP
+	// loops (br.ctop) dominate the counted forms in the numeric codes;
+	// FT, MG, CG, EP and IS each contain at least one br.wtop.
+	counts := map[string]ia64.StaticCounts{}
+	for _, name := range Names {
+		w, err := Build(name, Params{Class: ClassT})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := workload.Build(w, workload.SMPConfig(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[name] = inst.Ctx.Res.StaticCounts(inst.Ctx.M.Image())
+	}
+	for _, name := range []string{"bt", "sp", "lu", "ft", "mg", "cg"} {
+		if counts[name].Lfetch < 10 {
+			t.Errorf("%s: lfetch = %d, want substantial prefetching", name, counts[name].Lfetch)
+		}
+		if counts[name].BrCtop == 0 {
+			t.Errorf("%s: no software-pipelined loops", name)
+		}
+	}
+	if counts["ep"].Lfetch >= counts["cg"].Lfetch {
+		t.Errorf("ep lfetch %d not below cg %d", counts["ep"].Lfetch, counts["cg"].Lfetch)
+	}
+	for _, name := range []string{"ft", "mg", "ep", "is"} {
+		if counts[name].BrWtop == 0 {
+			t.Errorf("%s: no br.wtop loops", name)
+		}
+	}
+	for _, name := range []string{"bt", "sp", "lu", "is"} {
+		if counts[name].BrCloop == 0 {
+			t.Errorf("%s: no br.cloop loops", name)
+		}
+	}
+}
+
+func TestBenchmarksDeterministic(t *testing.T) {
+	for _, name := range []string{"cg", "mg"} {
+		a := runBench(t, name, 2).Ctx.RT.TotalCycles()
+		b := runBench(t, name, 2).Ctx.RT.TotalCycles()
+		if a != b {
+			t.Errorf("%s: non-deterministic cycles %d vs %d", name, a, b)
+		}
+	}
+}
+
+func TestResultNamesSubsetOfNames(t *testing.T) {
+	set := map[string]bool{}
+	for _, n := range Names {
+		set[n] = true
+	}
+	for _, n := range ResultNames {
+		if !set[n] {
+			t.Errorf("result benchmark %q not in Names", n)
+		}
+	}
+	if len(ResultNames) != 6 {
+		t.Errorf("ResultNames = %v, want the paper's six", ResultNames)
+	}
+}
+
+func TestClassSBuildable(t *testing.T) {
+	// Class S instances must compile (not run: that's the bench harness).
+	for _, name := range Names {
+		w, err := Build(name, Params{Class: ClassS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := workload.Build(w, workload.SMPConfig(4)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLCGDeterminism(t *testing.T) {
+	a, b := newLCG(7), newLCG(7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("lcg not deterministic")
+		}
+	}
+	r := newLCG(9)
+	for i := 0; i < 1000; i++ {
+		v := r.f64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("f64 out of range: %v", v)
+		}
+		n := r.intn(17)
+		if n < 0 || n >= 17 {
+			t.Fatalf("intn out of range: %v", n)
+		}
+	}
+}

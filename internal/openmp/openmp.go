@@ -1,0 +1,159 @@
+// Package openmp is a fork-join parallel runtime for the simulated
+// machine, mirroring the icc OpenMP runtime the paper's benchmarks use:
+// a parallel-for distributes the iteration space across worker threads by
+// static partitioning on the loop index — "regardless of data locations",
+// which is exactly the property that creates the coherent memory accesses
+// COBRA optimizes — with each thread bound to a fixed CPU and a join
+// barrier at region end.
+package openmp
+
+import (
+	"fmt"
+
+	"repro/internal/ia64"
+	"repro/internal/machine"
+)
+
+// Binder prepares a worker thread's registers for an outlined region:
+// array bases are baked into the code by the compiler, so binders set only
+// scalar arguments. tid is the OpenMP thread number.
+type Binder func(tid int, rf *ia64.RegFile)
+
+// Convention: outlined parallel regions receive their iteration range in
+// r8 (lo, inclusive) and r9 (hi, exclusive), and the thread id in r10.
+const (
+	RegLo  = 8
+	RegHi  = 9
+	RegTID = 10
+)
+
+// RegionStat records one executed region for reporting.
+type RegionStat struct {
+	Name     string
+	Parallel bool
+	Threads  int
+	Cycles   int64 // barrier-to-barrier duration
+	Retired  int64
+}
+
+// Runtime is the OpenMP runtime bound to one machine.
+type Runtime struct {
+	m        *machine.Machine
+	nthreads int
+	stats    []RegionStat
+
+	// OnFork, if set, is called once per worker thread at its first use —
+	// the hook COBRA uses to create a monitoring thread per working
+	// thread (paper §3: "A monitoring thread is created when a working
+	// thread is forked").
+	OnFork func(tid, cpu int)
+
+	forked []bool
+}
+
+// NewRuntime creates a runtime running nthreads worker threads, thread i
+// bound to CPU i.
+func NewRuntime(m *machine.Machine, nthreads int) (*Runtime, error) {
+	if nthreads <= 0 || nthreads > m.NumCPUs() {
+		return nil, fmt.Errorf("openmp: %d threads on %d CPUs", nthreads, m.NumCPUs())
+	}
+	return &Runtime{m: m, nthreads: nthreads, forked: make([]bool, nthreads)}, nil
+}
+
+// NumThreads returns the worker thread count.
+func (rt *Runtime) NumThreads() int { return rt.nthreads }
+
+// Machine returns the underlying machine.
+func (rt *Runtime) Machine() *machine.Machine { return rt.m }
+
+// Stats returns the per-region execution log.
+func (rt *Runtime) Stats() []RegionStat { return rt.stats }
+
+// TotalCycles sums all region durations (the program's wall-clock time).
+func (rt *Runtime) TotalCycles() int64 {
+	var t int64
+	for _, s := range rt.stats {
+		t += s.Cycles
+	}
+	return t
+}
+
+func (rt *Runtime) fork(tid int) {
+	if !rt.forked[tid] {
+		rt.forked[tid] = true
+		if rt.OnFork != nil {
+			rt.OnFork(tid, tid)
+		}
+	}
+}
+
+// ParallelFor runs fn over the iteration space [0, trip) on all worker
+// threads with a static schedule: thread t receives the contiguous chunk
+// [t*ceil(trip/n), min(trip, (t+1)*ceil(trip/n))). It blocks until the
+// join barrier completes.
+func (rt *Runtime) ParallelFor(fn ia64.Func, trip int64, bind Binder) error {
+	start := rt.m.GlobalCycle()
+	rt.m.SyncClocks(start)
+
+	chunk := (trip + int64(rt.nthreads) - 1) / int64(rt.nthreads)
+	var active []int
+	for t := 0; t < rt.nthreads; t++ {
+		lo := int64(t) * chunk
+		hi := lo + chunk
+		if hi > trip {
+			hi = trip
+		}
+		if lo >= hi {
+			continue
+		}
+		rt.fork(t)
+		t := t
+		rt.m.StartThread(t, fn.Entry, t, func(rf *ia64.RegFile) {
+			rf.SetGR(RegLo, lo)
+			rf.SetGR(RegHi, hi)
+			rf.SetGR(RegTID, int64(t))
+			if bind != nil {
+				bind(t, rf)
+			}
+		})
+		active = append(active, t)
+	}
+	retired, err := rt.m.RunAll(active)
+	if err != nil {
+		return fmt.Errorf("openmp: region %s: %w", fn.Name, err)
+	}
+	end := rt.m.GlobalCycle()
+	rt.m.SyncClocks(end) // join barrier
+	rt.stats = append(rt.stats, RegionStat{
+		Name: fn.Name, Parallel: true, Threads: len(active),
+		Cycles: end - start, Retired: retired,
+	})
+	return nil
+}
+
+// Serial runs fn to completion on CPU 0 (the master thread).
+func (rt *Runtime) Serial(fn ia64.Func, bind Binder) error {
+	start := rt.m.GlobalCycle()
+	rt.m.SyncClocks(start)
+	rt.fork(0)
+	rt.m.StartThread(0, fn.Entry, 0, func(rf *ia64.RegFile) {
+		rf.SetGR(RegTID, 0)
+		if bind != nil {
+			bind(0, rf)
+		}
+	})
+	retired, err := rt.m.Run(0)
+	if err != nil {
+		return fmt.Errorf("openmp: serial %s: %w", fn.Name, err)
+	}
+	end := rt.m.GlobalCycle()
+	rt.m.SyncClocks(end)
+	rt.stats = append(rt.stats, RegionStat{
+		Name: fn.Name, Parallel: false, Threads: 1,
+		Cycles: end - start, Retired: retired,
+	})
+	return nil
+}
+
+// ResetStats clears the region log (warm-up boundaries).
+func (rt *Runtime) ResetStats() { rt.stats = nil }

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/ia64"
+	"repro/internal/loopir"
+)
+
+// DaxpyParams parameterize the paper's Figure 1 kernel: an outer repeat
+// loop around an OpenMP parallel-for DAXPY. WorkingSetBytes covers both
+// arrays (x and y), as in the paper's working-set axis.
+type DaxpyParams struct {
+	WorkingSetBytes int64
+	OuterReps       int
+	A               float64
+}
+
+// Elems returns the per-array element count for the working set.
+func (p DaxpyParams) Elems() int64 { return p.WorkingSetBytes / (2 * loopir.ElemBytes) }
+
+// Daxpy builds the Figure 1 workload:
+//
+//	for (j=0; j<reps; j++)
+//	  #pragma omp parallel for
+//	  for (i=0; i<N; i++) y[i] = y[i] + a*x[i];
+func Daxpy(p DaxpyParams) *Workload {
+	n := p.Elems()
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: bad DAXPY working set %d", p.WorkingSetBytes))
+	}
+	if p.A == 0 {
+		p.A = 2.0
+	}
+	prog := &loopir.Program{
+		Name: "daxpy",
+		Arrays: []loopir.Array{
+			{Name: "x", Kind: loopir.F64, Elems: n},
+			{Name: "y", Kind: loopir.F64, Elems: n},
+		},
+		Funcs: []*loopir.Func{{
+			Name:        "daxpy_body",
+			Parallel:    true,
+			FloatParams: []string{"a"},
+			Body: []loopir.Stmt{
+				loopir.For{Var: "i", Lo: loopir.V("lo"), Hi: loopir.V("hi"), Body: []loopir.Stmt{
+					loopir.FStore{Array: "y", Index: loopir.V("i"),
+						Val: loopir.FAdd(loopir.At("y", loopir.V("i")),
+							loopir.FMul(loopir.FV("a"), loopir.At("x", loopir.V("i"))))},
+				}},
+			},
+		}},
+	}
+	return &Workload{
+		Name: "daxpy",
+		Prog: prog,
+		Setup: func(c *Ctx) error {
+			for i := int64(0); i < n; i++ {
+				c.WriteF64("x", i, float64(i%97))
+				c.WriteF64("y", i, float64(i%53))
+			}
+			return nil
+		},
+		Run: func(c *Ctx) error {
+			for rep := 0; rep < p.OuterReps; rep++ {
+				err := c.ParallelFor("daxpy_body", n, func(tid int, rf *ia64.RegFile) {
+					rf.SetFR(c.FloatArg("daxpy_body", "a"), p.A)
+				})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Verify: func(c *Ctx) error {
+			// Spot-check: y[i] = y0 + reps*a*x0.
+			for _, i := range []int64{0, 1, n / 2, n - 1} {
+				want := float64(i%53) + float64(p.OuterReps)*p.A*float64(i%97)
+				if got := c.ReadF64("y", i); got != want {
+					return fmt.Errorf("daxpy: y[%d] = %v, want %v", i, got, want)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/ia64"
+)
+
+// Variant selects the static binary variant of the paper's Figure 3
+// methodology. The variants are produced the way the paper produced them —
+// by rewriting the compiled prefetch binary, preserving instruction slots —
+// rather than by recompiling, so issue timing is identical across variants
+// and only the memory behaviour differs.
+type Variant uint8
+
+const (
+	// VariantPrefetch is the unmodified compiler output (the baseline).
+	VariantPrefetch Variant = iota
+	// VariantNoPrefetch statically rewrites every lfetch to a NOP ("the
+	// lfetch instructions are changed to NOP instructions").
+	VariantNoPrefetch
+	// VariantExcl statically rewrites to lfetch.excl the prefetches that
+	// stream over arrays the containing loop stores to (the load-then-
+	// store pattern .excl targets).
+	VariantExcl
+	// VariantExclAll rewrites every lfetch to lfetch.excl regardless of
+	// store behaviour (used by ablations).
+	VariantExclAll
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantPrefetch:
+		return "prefetch"
+	case VariantNoPrefetch:
+		return "noprefetch"
+	case VariantExcl:
+		return "prefetch.excl"
+	case VariantExclAll:
+		return "prefetch.excl-all"
+	}
+	return "?"
+}
+
+// ApplyVariant statically patches the instance's compiled binary into the
+// requested variant. It returns the number of rewritten prefetches.
+func ApplyVariant(inst *Instance, v Variant) (int, error) {
+	if v == VariantPrefetch {
+		return 0, nil
+	}
+	img := inst.Ctx.M.Image()
+	n := 0
+	for _, cf := range inst.Ctx.Res.Funcs {
+		// Build the per-loop stored-array sets for VariantExcl.
+		for _, li := range cf.Loops {
+			stored := map[string]bool{}
+			for _, a := range li.StoredArrays {
+				stored[a] = true
+			}
+			rewrite := func(pcs map[int]string) error {
+				for pc, array := range pcs {
+					in := img.Fetch(pc)
+					if in.Op != ia64.OpLfetch {
+						continue
+					}
+					switch v {
+					case VariantNoPrefetch:
+						in = ia64.Instr{Op: ia64.OpNop, QP: in.QP}
+					case VariantExcl:
+						if !stored[array] {
+							continue
+						}
+						in.Hint = ia64.HintExcl
+					case VariantExclAll:
+						in.Hint = ia64.HintExcl
+					}
+					if _, err := img.Patch(pc, in); err != nil {
+						return fmt.Errorf("workload: variant patch at %d: %w", pc, err)
+					}
+					n++
+				}
+				return nil
+			}
+			if err := rewrite(li.ProloguePCs); err != nil {
+				return n, err
+			}
+			if err := rewrite(li.PrefetchPCs); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/ia64"
+)
+
+func buildDaxpyInst(t *testing.T) *Instance {
+	t.Helper()
+	w := Daxpy(DaxpyParams{WorkingSetBytes: 32 << 10, OuterReps: 2})
+	inst, err := Build(w, SMPConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func countHints(inst *Instance, hint ia64.Hint) int {
+	img := inst.Ctx.M.Image()
+	n := 0
+	for pc := 0; pc < img.Len(); pc++ {
+		if in := img.Fetch(pc); in.Op == ia64.OpLfetch && in.Hint == hint {
+			n++
+		}
+	}
+	return n
+}
+
+func TestVariantPrefetchIsIdentity(t *testing.T) {
+	inst := buildDaxpyInst(t)
+	before := inst.Ctx.M.Image().Generation()
+	n, err := ApplyVariant(inst, VariantPrefetch)
+	if err != nil || n != 0 {
+		t.Fatalf("ApplyVariant(prefetch) = %d, %v", n, err)
+	}
+	if inst.Ctx.M.Image().Generation() != before {
+		t.Fatal("identity variant touched the binary")
+	}
+}
+
+func TestVariantNoPrefetchRemovesAllLfetch(t *testing.T) {
+	inst := buildDaxpyInst(t)
+	total := countHints(inst, ia64.HintNT1)
+	if total == 0 {
+		t.Fatal("no lfetch in the compiled binary")
+	}
+	n, err := ApplyVariant(inst, VariantNoPrefetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != total {
+		t.Fatalf("rewrote %d of %d lfetch sites", n, total)
+	}
+	if left := countHints(inst, ia64.HintNT1); left != 0 {
+		t.Fatalf("%d lfetch sites survived", left)
+	}
+	// Slot-preserving: the image length is unchanged (NOPs, not deletes).
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantExclTargetsStoredStreamsOnly(t *testing.T) {
+	inst := buildDaxpyInst(t)
+	n, err := ApplyVariant(inst, VariantExcl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	excl := countHints(inst, ia64.HintExcl)
+	nt1 := countHints(inst, ia64.HintNT1)
+	if excl != n || excl == 0 {
+		t.Fatalf("excl sites = %d (reported %d)", excl, n)
+	}
+	// DAXPY stores only y: the x stream must keep .nt1, so both hints
+	// coexist and in equal numbers (one prologue+steady set per array).
+	if nt1 == 0 || nt1 != excl {
+		t.Fatalf("nt1 = %d, excl = %d; want equal split between x and y", nt1, excl)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantExclAllConvertsEverything(t *testing.T) {
+	inst := buildDaxpyInst(t)
+	n, err := ApplyVariant(inst, VariantExclAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countHints(inst, ia64.HintNT1) != 0 {
+		t.Fatal("nt1 prefetches survived excl-all")
+	}
+	if countHints(inst, ia64.HintExcl) != n {
+		t.Fatal("excl count mismatch")
+	}
+}
+
+func TestVariantIdempotent(t *testing.T) {
+	inst := buildDaxpyInst(t)
+	if _, err := ApplyVariant(inst, VariantNoPrefetch); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ApplyVariant(inst, VariantNoPrefetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("second application rewrote %d sites", n)
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	for v, want := range map[Variant]string{
+		VariantPrefetch:   "prefetch",
+		VariantNoPrefetch: "noprefetch",
+		VariantExcl:       "prefetch.excl",
+		VariantExclAll:    "prefetch.excl-all",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}

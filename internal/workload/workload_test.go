@@ -1,0 +1,86 @@
+package workload
+
+import "testing"
+
+func TestDaxpyRunsAndVerifies(t *testing.T) {
+	w := Daxpy(DaxpyParams{WorkingSetBytes: 32 << 10, OuterReps: 3})
+	inst, err := Build(w, SMPConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaxpyMeasure(t *testing.T) {
+	w := Daxpy(DaxpyParams{WorkingSetBytes: 32 << 10, OuterReps: 2})
+	inst, err := Build(w, SMPConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := inst.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Cycles <= 0 {
+		t.Fatal("no cycles measured")
+	}
+	if mres.Mem.Loads == 0 || mres.Mem.Stores == 0 {
+		t.Fatalf("no memory traffic: %+v", mres.Mem)
+	}
+	if mres.Threads != 4 {
+		t.Fatalf("threads = %d", mres.Threads)
+	}
+}
+
+func TestDaxpyDeterministicCycles(t *testing.T) {
+	run := func() int64 {
+		w := Daxpy(DaxpyParams{WorkingSetBytes: 64 << 10, OuterReps: 2})
+		inst, err := Build(w, SMPConfig(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := inst.Measure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestNUMAConfigBuilds(t *testing.T) {
+	w := Daxpy(DaxpyParams{WorkingSetBytes: 32 << 10, OuterReps: 1})
+	inst, err := Build(w, NUMAConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Ctx.M.Domain().Config().NUMA != true {
+		t.Fatal("NUMA config not applied")
+	}
+}
+
+func TestMoreThreadsFinishFaster(t *testing.T) {
+	cycles := func(threads int) int64 {
+		w := Daxpy(DaxpyParams{WorkingSetBytes: 256 << 10, OuterReps: 2})
+		inst, err := Build(w, SMPConfig(threads))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := inst.Measure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycles
+	}
+	c1, c4 := cycles(1), cycles(4)
+	if c4 >= c1 {
+		t.Fatalf("4-thread run (%d cycles) not faster than 1-thread (%d)", c4, c1)
+	}
+}
