@@ -1,0 +1,30 @@
+# CI entry points. `make ci` is the gate a change must pass: static
+# checks, a full build, the scheduler/experiment packages under the race
+# detector (the scheduler runs experiment cells concurrently), and the
+# full tier-1 test suite.
+
+GO ?= go
+
+.PHONY: ci vet build race test bench results
+
+ci: vet build race test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+race:
+	$(GO) test -race ./internal/sched/... ./internal/experiment/...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Regenerate the committed experiment outputs through the scheduler.
+results:
+	$(GO) run ./cmd/cobra-npb -table 1 -progress=false > results/table1.txt
+	$(GO) run ./cmd/cobra-npb -figure all -progress=false > results/figures567.txt

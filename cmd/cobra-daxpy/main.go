@@ -1,6 +1,11 @@
 // Command cobra-daxpy regenerates the paper's DAXPY experiments: the
 // Figure 2 assembly listing (-dump-asm) and the Figure 3 normalized
 // execution time sweeps (-figure 3a | 3b).
+//
+// The Figure 3 sweep runs its (working set × threads × variant) cells as
+// independent jobs on the internal/sched worker pool (-jobs), with
+// -incremental skipping cells already recorded in the run ledger. Output
+// is deterministic regardless of worker count.
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/ia64"
 	"repro/internal/report"
+	"repro/internal/sched"
 	"repro/internal/workload"
 )
 
@@ -22,6 +28,11 @@ func main() {
 		figure  = flag.String("figure", "", "regenerate figure: 3a (noprefetch) or 3b (prefetch.excl)")
 		dumpAsm = flag.Bool("dump-asm", false, "disassemble the compiled DAXPY kernel (the paper's Figure 2)")
 		quick   = flag.Bool("quick", false, "reduced sweep for a fast run")
+
+		jobs        = flag.Int("jobs", 0, "concurrent experiment cells (0 = GOMAXPROCS)")
+		incremental = flag.Bool("incremental", false, "skip cells already recorded in the run ledger")
+		ledgerDir   = flag.String("ledger-dir", "results/ledger", "run ledger directory (with -incremental)")
+		progress    = flag.Bool("progress", true, "print per-cell progress lines to stderr")
 	)
 	flag.Parse()
 
@@ -35,13 +46,24 @@ func main() {
 		if *quick {
 			scale = experiment.QuickDaxpyScale()
 		}
-		cells, err := experiment.Figure3(byte((*figure)[1]), scale)
+		opt := experiment.Options{Jobs: *jobs}
+		if *incremental {
+			led, err := sched.OpenLedger(*ledgerDir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opt.Ledger = led
+		}
+		if *progress {
+			opt.Hooks = sched.ConsoleHooks(os.Stderr)
+		}
+		cells, err := experiment.Figure3Sched(byte((*figure)[1]), scale, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
 		report.Figure3(os.Stdout, byte((*figure)[1]), cells)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: cobra-daxpy -figure 3a|3b [-quick] | -dump-asm")
+		fmt.Fprintln(os.Stderr, "usage: cobra-daxpy -figure 3a|3b [-quick] [-jobs N] [-incremental] | -dump-asm")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

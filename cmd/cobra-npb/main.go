@@ -2,6 +2,12 @@
 // (static counts) and Figures 5-7 (speedup, L3 misses and bus transactions
 // under the COBRA noprefetch and prefetch.excl optimizations, on the 4-way
 // SMP and the Altix cc-NUMA models).
+//
+// Every experiment cell runs as an independent job on the internal/sched
+// worker pool (-jobs), compiled binaries are shared across strategies
+// through the build cache, and -incremental skips cells already recorded
+// in the run ledger. Output is deterministic: identical for any -jobs
+// value and for cached vs executed cells.
 package main
 
 import (
@@ -14,6 +20,8 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/npb"
 	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -24,8 +32,18 @@ func main() {
 		figure  = flag.String("figure", "", "regenerate figures: 5a,5b,6a,6b,7a,7b, or 'all'")
 		classS  = flag.Bool("class-s", true, "class-S-scaled problem sizes (false = tiny)")
 		benches = flag.String("benches", "", "comma-separated benchmark subset (default: the paper's six)")
+
+		jobs        = flag.Int("jobs", 0, "concurrent experiment cells (0 = GOMAXPROCS)")
+		incremental = flag.Bool("incremental", false, "skip cells already recorded in the run ledger")
+		ledgerDir   = flag.String("ledger-dir", "results/ledger", "run ledger directory (with -incremental)")
+		progress    = flag.Bool("progress", true, "print per-cell progress lines to stderr")
 	)
 	flag.Parse()
+
+	opt, err := schedOptions(*jobs, *incremental, *ledgerDir, *progress)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	class := npb.ClassT
 	if *classS {
@@ -33,7 +51,7 @@ func main() {
 	}
 
 	if *table == 1 {
-		rows, err := experiment.Table1(class)
+		rows, err := experiment.Table1Sched(class, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -42,7 +60,7 @@ func main() {
 	}
 
 	if *figure == "" {
-		fmt.Fprintln(os.Stderr, "usage: cobra-npb -table 1 | -figure 5a|5b|6a|6b|7a|7b|all [-benches bt,sp,...]")
+		fmt.Fprintln(os.Stderr, "usage: cobra-npb -table 1 | -figure 5a|5b|6a|6b|7a|7b|all [-benches bt,sp,...] [-jobs N] [-incremental]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -70,7 +88,7 @@ func main() {
 		if !needed {
 			continue
 		}
-		res, err := experiment.RunNPB(machines[panel], class, names)
+		res, err := experiment.RunNPBSched(machines[panel], class, names, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,4 +107,23 @@ func main() {
 		report.CobraActivity(os.Stdout, res)
 		fmt.Println()
 	}
+}
+
+// schedOptions assembles the scheduler options shared by every sweep of
+// this invocation: one worker pool size, one optional ledger, one build
+// cache (so the SMP and NUMA sweeps of -figure all reuse compiles where
+// configurations coincide).
+func schedOptions(jobs int, incremental bool, ledgerDir string, progress bool) (experiment.Options, error) {
+	opt := experiment.Options{Jobs: jobs, Cache: workload.NewBuildCache()}
+	if incremental {
+		led, err := sched.OpenLedger(ledgerDir)
+		if err != nil {
+			return opt, err
+		}
+		opt.Ledger = led
+	}
+	if progress {
+		opt.Hooks = sched.ConsoleHooks(os.Stderr)
+	}
+	return opt, nil
 }

@@ -2,6 +2,12 @@
 // model, optionally under a COBRA strategy, and prints the measured
 // execution time, memory-system counters and COBRA activity — the generic
 // entry point for exploring the framework.
+//
+// The run goes through the internal/sched scheduler like the sweep
+// commands: -incremental reuses a recorded measurement from the run
+// ledger when the exact configuration (workload, parameters, machine,
+// threads, strategy) was measured before, and -jobs is accepted for
+// interface uniformity (a single run occupies one worker).
 package main
 
 import (
@@ -12,6 +18,7 @@ import (
 
 	"repro/internal/cobra"
 	"repro/internal/npb"
+	"repro/internal/sched"
 	"repro/internal/workload"
 )
 
@@ -27,22 +34,30 @@ func main() {
 		ws       = flag.Int64("daxpy-ws", 128<<10, "DAXPY working set bytes")
 		reps     = flag.Int("daxpy-reps", 100, "DAXPY outer repetitions")
 		patches  = flag.Bool("show-patches", false, "list the binary patches COBRA deployed")
+
+		jobs        = flag.Int("jobs", 0, "scheduler worker-pool size (0 = GOMAXPROCS)")
+		incremental = flag.Bool("incremental", false, "reuse a recorded measurement from the run ledger")
+		ledgerDir   = flag.String("ledger-dir", "results/ledger", "run ledger directory (with -incremental)")
+		progress    = flag.Bool("progress", false, "print scheduler progress lines to stderr")
 	)
 	flag.Parse()
 
-	var w *workload.Workload
-	var err error
+	// The workload is rebuilt inside the job so a ledger hit skips all
+	// construction; params contribute to the cell's content hash.
+	var build func() (*workload.Workload, error)
+	var params any
 	if *name == "daxpy" {
-		w = workload.Daxpy(workload.DaxpyParams{WorkingSetBytes: *ws, OuterReps: *reps})
+		p := workload.DaxpyParams{WorkingSetBytes: *ws, OuterReps: *reps}
+		params = p
+		build = func() (*workload.Workload, error) { return workload.Daxpy(p), nil }
 	} else {
 		class := npb.ClassT
 		if *classS {
 			class = npb.ClassS
 		}
-		w, err = npb.Build(*name, npb.Params{Class: class})
-		if err != nil {
-			log.Fatal(err)
-		}
+		p := npb.Params{Class: class}
+		params = p
+		build = func() (*workload.Workload, error) { return npb.Build(*name, p) }
 	}
 
 	var bc workload.BuildConfig
@@ -76,16 +91,44 @@ func main() {
 		log.Fatalf("unknown strategy %q", *strategy)
 	}
 
-	inst, err := workload.Build(w, bc)
-	if err != nil {
-		log.Fatal(err)
+	opt := sched.Options{Workers: *jobs}
+	if *incremental {
+		led, err := sched.OpenLedger(*ledgerDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Ledger = led
 	}
-	m, err := inst.Measure()
-	if err != nil {
-		log.Fatal(err)
+	if *progress {
+		opt.Hooks = sched.ConsoleHooks(os.Stderr)
 	}
 
+	var inst *workload.Instance // captured for -show-patches; nil on a ledger hit
+	job := sched.Job[workload.Measurement]{
+		Key:  sched.KeyOf("cobra-run", *name, params, bc),
+		Name: fmt.Sprintf("%s/t=%d/%s/%s", *name, *threads, *machine, *strategy),
+		Run: func() (workload.Measurement, error) {
+			w, err := build()
+			if err != nil {
+				return workload.Measurement{}, err
+			}
+			inst, err = workload.Build(w, bc)
+			if err != nil {
+				return workload.Measurement{}, err
+			}
+			return inst.Measure()
+		},
+	}
+	results := sched.Run([]sched.Job[workload.Measurement]{job}, opt)
+	if err := sched.FirstErr(results); err != nil {
+		log.Fatal(err)
+	}
+	m := results[0].Value
+
 	fmt.Printf("workload   %s (%d threads, %s, strategy=%s)\n", m.Name, m.Threads, *machine, *strategy)
+	if results[0].Cached {
+		fmt.Println("source     run ledger (recorded measurement; rerun without -incremental to re-execute)")
+	}
 	fmt.Printf("cycles     %d\n", m.Cycles)
 	st := m.Mem
 	fmt.Printf("memory     loads=%d stores=%d prefetches=%d (dropped %d)\n",
@@ -101,10 +144,14 @@ func main() {
 			cs.SamplesSeen, cs.OptimizerPasses, cs.Triggers, cs.PatchesApplied,
 			cs.PatchesRolledBack, cs.PrefetchesNopped, cs.PrefetchesExcl, cs.LoadsBiased, cs.TracesEmitted)
 		if *patches {
-			for _, p := range inst.Cobra.ActivePatches() {
-				fmt.Printf("  patch: region [%d,%d] in %s: %d prefetches -> %s (trace entry %d)\n",
-					p.Region.Start, p.Region.End, p.Region.FuncName,
-					p.RewrittenPrefetches, p.Rewrite, p.TraceEntry)
+			if inst == nil {
+				fmt.Println("  (patch list unavailable for a ledger-cached run)")
+			} else {
+				for _, p := range inst.Cobra.ActivePatches() {
+					fmt.Printf("  patch: region [%d,%d] in %s: %d prefetches -> %s (trace entry %d)\n",
+						p.Region.Start, p.Region.End, p.Region.FuncName,
+						p.RewrittenPrefetches, p.Rewrite, p.TraceEntry)
+				}
 			}
 		}
 	}

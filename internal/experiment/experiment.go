@@ -9,8 +9,39 @@ import (
 
 	"repro/internal/cobra"
 	"repro/internal/npb"
+	"repro/internal/sched"
 	"repro/internal/workload"
 )
+
+// Options configure how a sweep executes on the internal/sched worker
+// pool. The zero value runs with GOMAXPROCS workers, no persistent
+// ledger, no progress hooks, and a private build cache — and, because
+// every cell is an independent deterministic simulation, produces output
+// bit-identical to a serial run.
+type Options struct {
+	// Jobs is the worker-pool size; <= 0 means GOMAXPROCS.
+	Jobs int
+	// Ledger, when non-nil, skips cells whose content hash is already
+	// recorded and reuses the recorded measurement (-incremental mode).
+	Ledger *sched.Ledger
+	// Hooks observe per-cell progress and timing.
+	Hooks sched.Hooks
+	// Cache is the compiled-binary artifact cache. Nil uses a cache
+	// private to the call; pass a shared one to reuse compiles across
+	// sweeps in one process.
+	Cache *workload.BuildCache
+}
+
+func (o Options) schedOptions() sched.Options {
+	return sched.Options{Workers: o.Jobs, Ledger: o.Ledger, Hooks: o.Hooks}
+}
+
+func (o Options) buildCache() *workload.BuildCache {
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return workload.NewBuildCache()
+}
 
 // MachineKind selects one of the paper's two platforms.
 type MachineKind uint8
@@ -124,18 +155,30 @@ func QuickDaxpyScale() DaxpyScale {
 	}
 }
 
-// runDaxpy measures one Figure 3 cell.
-func runDaxpy(ws int64, threads, reps int, v workload.Variant) (workload.Measurement, error) {
-	w := workload.Daxpy(workload.DaxpyParams{WorkingSetBytes: ws, OuterReps: reps})
+// daxpyJob builds the scheduler job measuring one Figure 3 cell. The key
+// hashes the full cell identity (kernel parameters, variant, machine and
+// compiler config), so equal cells dedup within a sweep — the 1-thread
+// prefetch normalization anchor and the (1, prefetch) bar are one job —
+// and ledger entries survive exactly as long as the configuration is
+// unchanged.
+func daxpyJob(cache *workload.BuildCache, ws int64, threads, reps int, v workload.Variant) sched.Job[workload.Measurement] {
+	p := workload.DaxpyParams{WorkingSetBytes: ws, OuterReps: reps}
 	bc := workload.SMPConfig(threads)
-	inst, err := workload.Build(w, bc)
-	if err != nil {
-		return workload.Measurement{}, err
+	return sched.Job[workload.Measurement]{
+		Key:  sched.KeyOf("daxpy-cell", p, int(v), bc),
+		Name: fmt.Sprintf("daxpy/ws=%dK/t=%d/%s", ws>>10, threads, v),
+		Run: func() (workload.Measurement, error) {
+			w := workload.Daxpy(p)
+			inst, err := cache.Build(sched.KeyOf("daxpy", p), w, bc)
+			if err != nil {
+				return workload.Measurement{}, err
+			}
+			if _, err := workload.ApplyVariant(inst, v); err != nil {
+				return workload.Measurement{}, err
+			}
+			return inst.Measure()
+		},
 	}
-	if _, err := workload.ApplyVariant(inst, v); err != nil {
-		return workload.Measurement{}, err
-	}
-	return inst.Measure()
 }
 
 // Figure3 regenerates Figure 3(a) (prefetch vs noprefetch) or 3(b)
@@ -144,6 +187,13 @@ func runDaxpy(ws int64, threads, reps int, v workload.Variant) (workload.Measure
 // produced by static binary rewriting of the compiled prefetch binary, as
 // in the paper.
 func Figure3(panel byte, scale DaxpyScale) ([]DaxpyCell, error) {
+	return Figure3Sched(panel, scale, Options{})
+}
+
+// Figure3Sched is Figure3 on the scheduler: every (working set, threads,
+// variant) cell is an independent job; the per-working-set normalization
+// anchors are folded into the same run by key dedup.
+func Figure3Sched(panel byte, scale DaxpyScale, opt Options) ([]DaxpyCell, error) {
 	var alt workload.Variant
 	switch panel {
 	case 'a':
@@ -153,19 +203,33 @@ func Figure3(panel byte, scale DaxpyScale) ([]DaxpyCell, error) {
 	default:
 		return nil, fmt.Errorf("experiment: figure 3 panel %q", panel)
 	}
-	var cells []DaxpyCell
+	cache := opt.buildCache()
+	// Job layout per working set: the 1-thread prefetch anchor first, then
+	// the cells in reporting order (scheduling order does not affect the
+	// output — results come back indexed).
+	var jobs []sched.Job[workload.Measurement]
 	for _, ws := range scale.WorkingSets {
 		reps := scale.RepsFor(ws)
-		base1, err := runDaxpy(ws, 1, reps, workload.VariantPrefetch)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, daxpyJob(cache, ws, 1, reps, workload.VariantPrefetch))
 		for _, th := range scale.Threads {
 			for _, v := range []workload.Variant{workload.VariantPrefetch, alt} {
-				m, err := runDaxpy(ws, th, reps, v)
-				if err != nil {
-					return nil, err
-				}
+				jobs = append(jobs, daxpyJob(cache, ws, th, reps, v))
+			}
+		}
+	}
+	results := sched.Run(jobs, opt.schedOptions())
+	if err := sched.FirstErr(results); err != nil {
+		return nil, err
+	}
+	var cells []DaxpyCell
+	i := 0
+	for _, ws := range scale.WorkingSets {
+		base1 := results[i].Value
+		i++
+		for _, th := range scale.Threads {
+			for _, v := range []workload.Variant{workload.VariantPrefetch, alt} {
+				m := results[i].Value
+				i++
 				cells = append(cells, DaxpyCell{
 					WSBytes: ws, Threads: th, Variant: v, Cycles: m.Cycles,
 					Normalized: float64(m.Cycles) / float64(base1.Cycles),
@@ -191,21 +255,45 @@ type Table1Row struct {
 // Table1 compiles every NPB benchmark and counts the prefetches and loop
 // branches in the generated binaries.
 func Table1(class npb.Class) ([]Table1Row, error) {
-	var rows []Table1Row
+	return Table1Sched(class, Options{})
+}
+
+// Table1Sched is Table1 on the scheduler: one compile-and-count job per
+// benchmark.
+func Table1Sched(class npb.Class, opt Options) ([]Table1Row, error) {
+	cache := opt.buildCache()
+	p := npb.Params{Class: class}
+	bc := workload.SMPConfig(1)
+	var jobs []sched.Job[Table1Row]
 	for _, name := range npb.Names {
-		w, err := npb.Build(name, npb.Params{Class: class})
-		if err != nil {
-			return nil, err
-		}
-		inst, err := workload.Build(w, workload.SMPConfig(1))
-		if err != nil {
-			return nil, err
-		}
-		c := inst.Ctx.Res.StaticCounts(inst.Ctx.M.Image())
-		rows = append(rows, Table1Row{
-			Bench: name, Lfetch: c.Lfetch,
-			BrCtop: c.BrCtop, BrCloop: c.BrCloop, BrWtop: c.BrWtop,
+		name := name
+		jobs = append(jobs, sched.Job[Table1Row]{
+			Key:  sched.KeyOf("table1", name, p, bc),
+			Name: fmt.Sprintf("table1/%s.%s", name, class),
+			Run: func() (Table1Row, error) {
+				w, err := npb.Build(name, p)
+				if err != nil {
+					return Table1Row{}, err
+				}
+				inst, err := cache.Build(sched.KeyOf("npb", name, p), w, bc)
+				if err != nil {
+					return Table1Row{}, err
+				}
+				c := inst.Ctx.Res.StaticCounts(inst.Ctx.M.Image())
+				return Table1Row{
+					Bench: name, Lfetch: c.Lfetch,
+					BrCtop: c.BrCtop, BrCloop: c.BrCloop, BrWtop: c.BrWtop,
+				}, nil
+			},
 		})
+	}
+	results := sched.Run(jobs, opt.schedOptions())
+	if err := sched.FirstErr(results); err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, len(results))
+	for i, r := range results {
+		rows[i] = r.Value
 	}
 	return rows, nil
 }
@@ -232,27 +320,67 @@ type NPBResult struct {
 // run under COBRA with the corresponding strategy, so the reported numbers
 // include all monitoring and optimization overhead, as in the paper.
 func RunNPB(machine MachineKind, class npb.Class, benches []string) (*NPBResult, error) {
+	return RunNPBSched(machine, class, benches, Options{})
+}
+
+// npbJob builds the scheduler job measuring one (benchmark, strategy)
+// cell. The build config carries the full machine, compiler and COBRA
+// configuration, so the content hash changes with any of them. The three
+// strategies of one benchmark share a compiled artifact through the build
+// cache: COBRA attaches at run time and never alters the compile.
+func npbJob(cache *workload.BuildCache, machine MachineKind, class npb.Class, name string, s StrategyLabel) sched.Job[workload.Measurement] {
+	p := npb.Params{Class: class}
+	bc := machine.config()
+	bc.Cobra = cobraFor(s, machine)
+	return sched.Job[workload.Measurement]{
+		Key:  sched.KeyOf("npb-cell", name, p, bc),
+		Name: fmt.Sprintf("%s/%s.%s/%s", machineShort(machine), name, class, s),
+		Run: func() (workload.Measurement, error) {
+			w, err := npb.Build(name, p)
+			if err != nil {
+				return workload.Measurement{}, err
+			}
+			inst, err := cache.Build(sched.KeyOf("npb", name, p), w, bc)
+			if err != nil {
+				return workload.Measurement{}, err
+			}
+			return inst.Measure()
+		},
+	}
+}
+
+func machineShort(m MachineKind) string {
+	if m == SMP4 {
+		return "smp"
+	}
+	return "numa"
+}
+
+// RunNPBSched is RunNPB on the scheduler: one job per (benchmark,
+// strategy) cell, results assembled in the paper's reporting order
+// regardless of completion order.
+func RunNPBSched(machine MachineKind, class npb.Class, benches []string, opt Options) (*NPBResult, error) {
 	if benches == nil {
 		benches = npb.ResultNames
 	}
-	res := &NPBResult{Machine: machine, Threads: machine.Threads()}
+	cache := opt.buildCache()
+	var jobs []sched.Job[workload.Measurement]
 	for _, name := range benches {
 		for _, s := range Strategies {
-			w, err := npb.Build(name, npb.Params{Class: class})
-			if err != nil {
-				return nil, err
+			jobs = append(jobs, npbJob(cache, machine, class, name, s))
+		}
+	}
+	results := sched.Run(jobs, opt.schedOptions())
+	res := &NPBResult{Machine: machine, Threads: machine.Threads()}
+	i := 0
+	for _, name := range benches {
+		for _, s := range Strategies {
+			r := results[i]
+			i++
+			if r.Err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, s, r.Err)
 			}
-			bc := machine.config()
-			bc.Cobra = cobraFor(s, machine)
-			inst, err := workload.Build(w, bc)
-			if err != nil {
-				return nil, err
-			}
-			m, err := inst.Measure()
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", name, s, err)
-			}
-			res.Cells = append(res.Cells, NPBCell{Bench: name, Strategy: s, Measurement: m})
+			res.Cells = append(res.Cells, NPBCell{Bench: name, Strategy: s, Measurement: r.Value})
 		}
 	}
 	return res, nil

@@ -1,0 +1,141 @@
+package experiment_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/npb"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestRunNPBParityAcrossWorkerCounts is the determinism contract of the
+// scheduler port: the same sweep under jobs=1 and jobs=8 must produce
+// byte-identical serialized rows. Each cell is an independent determin-
+// istic simulation, so worker count and completion order must be
+// unobservable in the output.
+func TestRunNPBParityAcrossWorkerCounts(t *testing.T) {
+	benches := []string{"cg", "mg"}
+	serial, err := experiment.RunNPBSched(experiment.SMP4, npb.ClassT, benches, experiment.Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := experiment.RunNPBSched(experiment.SMP4, npb.ClassT, benches, experiment.Options{Jobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Cells, parallel.Cells) {
+		t.Fatalf("jobs=1 and jobs=8 cells differ:\n%+v\n%+v", serial.Cells, parallel.Cells)
+	}
+	var s1, s8 strings.Builder
+	report.CSV(&s1, serial)
+	report.CSV(&s8, parallel)
+	if s1.String() != s8.String() {
+		t.Fatalf("serialized rows differ:\n%s\n---\n%s", s1.String(), s8.String())
+	}
+}
+
+func TestFigure3ParityAcrossWorkerCounts(t *testing.T) {
+	scale := experiment.QuickDaxpyScale()
+	serial, err := experiment.Figure3Sched('a', scale, experiment.Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := experiment.Figure3Sched('a', scale, experiment.Options{Jobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("jobs=1 and jobs=8 cells differ:\n%+v\n%+v", serial, parallel)
+	}
+}
+
+func TestTable1ParityAcrossWorkerCounts(t *testing.T) {
+	serial, err := experiment.Table1Sched(npb.ClassT, experiment.Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := experiment.Table1Sched(npb.ClassT, experiment.Options{Jobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("jobs=1 and jobs=8 rows differ:\n%+v\n%+v", serial, parallel)
+	}
+}
+
+// TestRunNPBSharesCompiles checks the artifact cache: the three strategies
+// of one benchmark differ only in the attached COBRA runtime, so a sweep
+// of B benchmarks × 3 strategies compiles exactly B binaries.
+func TestRunNPBSharesCompiles(t *testing.T) {
+	cache := workload.NewBuildCache()
+	_, err := experiment.RunNPBSched(experiment.SMP4, npb.ClassT, []string{"cg", "mg"}, experiment.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := cache.Stats()
+	if misses != 2 {
+		t.Errorf("misses = %d, want 2 (one compile per benchmark)", misses)
+	}
+	if hits != 4 {
+		t.Errorf("hits = %d, want 4 (two extra strategies per benchmark)", hits)
+	}
+}
+
+// TestIncrementalLedgerSkipsUnchangedCells exercises -incremental end to
+// end: a rerun against the same ledger executes nothing and reproduces
+// the recorded measurements exactly.
+func TestIncrementalLedgerSkipsUnchangedCells(t *testing.T) {
+	led, err := sched.OpenLedger(filepath.Join(t.TempDir(), "ledger"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var executed, cached atomic.Int64
+	opt := experiment.Options{
+		Ledger: led,
+		Hooks: sched.Hooks{
+			Started: func(sched.Event) { executed.Add(1) },
+			Cached:  func(sched.Event) { cached.Add(1) },
+		},
+	}
+	cold, err := experiment.RunNPBSched(experiment.SMP4, npb.ClassT, []string{"mg"}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() == 0 || cached.Load() != 0 {
+		t.Fatalf("cold run: executed=%d cached=%d", executed.Load(), cached.Load())
+	}
+	coldExecuted := executed.Load()
+
+	warm, err := experiment.RunNPBSched(experiment.SMP4, npb.ClassT, []string{"mg"}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != coldExecuted {
+		t.Fatalf("warm run re-executed cells: %d -> %d", coldExecuted, executed.Load())
+	}
+	if cached.Load() != coldExecuted {
+		t.Fatalf("warm run cached %d cells, want %d", cached.Load(), coldExecuted)
+	}
+	if !reflect.DeepEqual(cold.Cells, warm.Cells) {
+		t.Fatalf("ledger round trip changed the cells:\n%+v\n%+v", cold.Cells, warm.Cells)
+	}
+
+	// A config change must invalidate: the NUMA sweep shares no keys.
+	executed.Store(0)
+	cached.Store(0)
+	if _, err := experiment.RunNPBSched(experiment.Altix8, npb.ClassT, []string{"mg"}, opt); err != nil {
+		t.Fatal(err)
+	}
+	if cached.Load() != 0 {
+		t.Fatalf("NUMA sweep hit SMP ledger entries: %d", cached.Load())
+	}
+	if executed.Load() == 0 {
+		t.Fatal("NUMA sweep executed nothing")
+	}
+}

@@ -40,6 +40,22 @@ func NewImage() *Image {
 	return &Image{}
 }
 
+// Clone returns a deep copy of the image: an independent binary whose
+// encoded words, decode cache and function table share nothing with the
+// original. A pristine compiled image can thus be cloned once per run and
+// executed/patched concurrently without the runs observing each other —
+// the basis of the workload build cache.
+func (im *Image) Clone() *Image {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	return &Image{
+		words: append([]Word(nil), im.words...),
+		dec:   append([]Instr(nil), im.dec...),
+		funcs: append([]Func(nil), im.funcs...),
+		gen:   im.gen,
+	}
+}
+
 // Len returns the number of instruction slots in the image.
 func (im *Image) Len() int {
 	im.mu.RLock()

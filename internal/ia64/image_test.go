@@ -63,6 +63,47 @@ func TestImagePatchUndo(t *testing.T) {
 	}
 }
 
+func TestImageCloneIsIndependent(t *testing.T) {
+	img := NewImage()
+	img.Append(Instr{Op: OpLfetch, R2: 43, Hint: HintNT1})
+	img.AddFunc("f", 0, 1)
+
+	cp := img.Clone()
+	if cp.Len() != img.Len() {
+		t.Fatalf("clone Len = %d, want %d", cp.Len(), img.Len())
+	}
+	if got := cp.Fetch(0); got.Op != OpLfetch || got.Hint != HintNT1 {
+		t.Fatalf("clone Fetch(0) = %+v", got)
+	}
+	if _, ok := cp.LookupFunc("f"); !ok {
+		t.Fatal("clone lost the function table")
+	}
+	w0, w1 := img.Words(0)
+	cw0, cw1 := cp.Words(0)
+	if w0 != cw0 || w1 != cw1 {
+		t.Fatal("clone words differ from original")
+	}
+
+	// Patching the clone must not touch the original, and vice versa.
+	if _, err := cp.Patch(0, Instr{Op: OpNop}); err != nil {
+		t.Fatal(err)
+	}
+	if got := img.Fetch(0); got.Op != OpLfetch {
+		t.Fatalf("original mutated by clone patch: %+v", got)
+	}
+	if _, err := img.Patch(0, Instr{Op: OpLfetch, R2: 43, Hint: HintExcl}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.Fetch(0); got.Op != OpNop {
+		t.Fatalf("clone mutated by original patch: %+v", got)
+	}
+	// Appending to the clone must not grow the original.
+	cp.Append(Instr{Op: OpHalt})
+	if img.Len() != 1 {
+		t.Fatalf("original Len = %d after clone append, want 1", img.Len())
+	}
+}
+
 func TestImagePatchOutOfRange(t *testing.T) {
 	img := NewImage()
 	img.Append(Instr{Op: OpNop})

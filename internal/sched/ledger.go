@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ledgerVersion is bumped when the entry envelope changes shape, so stale
+// files from an older format read as misses instead of decoding garbage.
+const ledgerVersion = 1
+
+// entry is the on-disk envelope of one recorded job.
+type entry struct {
+	V     int             `json:"v"`
+	Key   string          `json:"key"`
+	Name  string          `json:"name"`
+	Value json.RawMessage `json:"value"`
+}
+
+// Ledger is a persistent run ledger: one JSON file per job hash under a
+// directory (results/ledger/ by convention). A recorded cell is skipped on
+// rerun — the backbone of the cmd/* -incremental mode. Because keys are
+// content hashes of the full cell configuration, any change to a workload,
+// machine, strategy or scale produces a different key and re-executes.
+type Ledger struct {
+	dir string
+	mu  sync.Mutex // serializes writes; reads are lock-free (files are
+	// written atomically via rename)
+}
+
+// OpenLedger opens (creating if needed) a ledger directory.
+func OpenLedger(dir string) (*Ledger, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sched: open ledger: %w", err)
+	}
+	return &Ledger{dir: dir}, nil
+}
+
+// Dir returns the ledger directory.
+func (l *Ledger) Dir() string { return l.dir }
+
+func (l *Ledger) path(key string) string {
+	return filepath.Join(l.dir, key+".json")
+}
+
+// Get looks up a recorded value by job key, decoding it into out (a
+// pointer). It returns (false, nil) for a plain miss; a corrupt or
+// mismatched entry is also a miss, with the decode error reported for
+// diagnostics.
+func (l *Ledger) Get(key string, out any) (bool, error) {
+	data, err := os.ReadFile(l.path(key))
+	if err != nil {
+		return false, nil
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return false, fmt.Errorf("sched: ledger entry %s: %w", key, err)
+	}
+	if e.V != ledgerVersion || e.Key != key {
+		return false, fmt.Errorf("sched: ledger entry %s: version/key mismatch", key)
+	}
+	if err := json.Unmarshal(e.Value, out); err != nil {
+		return false, fmt.Errorf("sched: ledger entry %s value: %w", key, err)
+	}
+	return true, nil
+}
+
+// Put records a value under a job key, atomically (write to a temp file in
+// the same directory, then rename).
+func (l *Ledger) Put(key, name string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("sched: ledger put %s: %w", key, err)
+	}
+	data, err := json.MarshalIndent(entry{V: ledgerVersion, Key: key, Name: name, Value: raw}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sched: ledger put %s: %w", key, err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tmp, err := os.CreateTemp(l.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("sched: ledger put %s: %w", key, err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sched: ledger put %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sched: ledger put %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), l.path(key)); err != nil {
+		return fmt.Errorf("sched: ledger put %s: %w", key, err)
+	}
+	return nil
+}
+
+// Len reports how many entries the ledger currently holds.
+func (l *Ledger) Len() (int, error) {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Bench  string
+	Cycles int64
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	led, err := OpenLedger(filepath.Join(t.TempDir(), "nested", "ledger"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("cell", 1)
+	want := payload{Bench: "cg", Cycles: 123456789}
+	if err := led.Put(key, "cg/noprefetch", want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	hit, err := led.Get(key, &got)
+	if err != nil || !hit {
+		t.Fatalf("Get = %v, %v", hit, err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestLedgerMiss(t *testing.T) {
+	led, err := OpenLedger(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	hit, err := led.Get(KeyOf("absent"), &got)
+	if hit || err != nil {
+		t.Fatalf("miss = %v, %v; want false, nil", hit, err)
+	}
+}
+
+func TestLedgerCorruptEntryIsAMiss(t *testing.T) {
+	led, err := OpenLedger(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("corrupt")
+	if err := os.WriteFile(led.path(key), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	hit, err := led.Get(key, &got)
+	if hit {
+		t.Fatal("corrupt entry reported as hit")
+	}
+	if err == nil {
+		t.Fatal("corrupt entry produced no diagnostic")
+	}
+}
+
+func TestLedgerKeyMismatchIsAMiss(t *testing.T) {
+	led, err := OpenLedger(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := led.Put(KeyOf("a"), "a", payload{Bench: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	// Copy a's entry file under b's key: the embedded key no longer
+	// matches the filename, so it must not be trusted.
+	data, err := os.ReadFile(led.path(KeyOf("a")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(led.path(KeyOf("b")), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	hit, err := led.Get(KeyOf("b"), &got)
+	if hit {
+		t.Fatal("mismatched entry reported as hit")
+	}
+	if err == nil {
+		t.Fatal("mismatched entry produced no diagnostic")
+	}
+}
+
+func TestLedgerOverwrite(t *testing.T) {
+	led, err := OpenLedger(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("cell")
+	if err := led.Put(key, "x", payload{Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := led.Put(key, "x", payload{Cycles: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if hit, err := led.Get(key, &got); !hit || err != nil {
+		t.Fatalf("Get = %v, %v", hit, err)
+	}
+	if got.Cycles != 2 {
+		t.Fatalf("Cycles = %d, want the overwritten value 2", got.Cycles)
+	}
+	if n, err := led.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package sched executes experiment cells as independent jobs on a worker
+// pool. Every figure and table of the reproduction is a sweep of fully
+// deterministic simulations that share no state, so the scheduler can run
+// them concurrently and still return results in deterministic input order
+// regardless of completion order.
+//
+// Each Job carries a content-hash Key identifying the cell (workload ×
+// machine × strategy × scale). The key serves two purposes: jobs submitted
+// with the same key in one Run are executed once and share the result
+// (dedup), and an optional persistent Ledger keyed by job hash lets
+// unchanged cells be skipped entirely across process runs (incremental
+// mode).
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one schedulable unit of work producing a value of type T.
+type Job[T any] struct {
+	// Key is the content-hash identity of the cell (see KeyOf). Jobs with
+	// equal keys are assumed to produce identical values: within one Run
+	// they execute once, and with a Ledger a previously recorded value is
+	// reused across runs. An empty key disables both behaviours.
+	Key string
+	// Name is the human-readable label used by progress hooks.
+	Name string
+	// Run computes the cell. It must not share mutable state with other
+	// jobs: the scheduler may invoke many Run functions concurrently.
+	Run func() (T, error)
+}
+
+// Result pairs a job with its outcome, in the input order of Run.
+type Result[T any] struct {
+	Name    string
+	Key     string
+	Value   T
+	Err     error
+	Cached  bool          // served from the ledger, not executed
+	Elapsed time.Duration // execution time (zero when Cached)
+}
+
+// Event describes a job state change delivered to Hooks.
+type Event struct {
+	Seq     int    // 1-based count of jobs that have reached this state
+	Total   int    // distinct jobs in this Run (after key dedup)
+	Name    string // Job.Name
+	Key     string // Job.Key
+	Elapsed time.Duration
+	Err     error
+}
+
+// Hooks observe job progress. Invocations are serialized by the scheduler,
+// so hooks may write to a shared sink without locking; they run on worker
+// goroutines and should be fast. Any field may be nil.
+type Hooks struct {
+	Started  func(Event) // a job began executing
+	Finished func(Event) // a job finished executing (Err set on failure)
+	Cached   func(Event) // a job was skipped: its ledger entry was reused
+}
+
+// Options configure one Run.
+type Options struct {
+	// Workers is the number of concurrent jobs; <= 0 means GOMAXPROCS.
+	Workers int
+	// Ledger, when non-nil, is consulted before executing a keyed job and
+	// updated after a successful execution.
+	Ledger *Ledger
+	// Hooks receive progress callbacks.
+	Hooks Hooks
+}
+
+// Run executes jobs on a worker pool and returns one Result per job, in
+// input order regardless of completion order. Jobs sharing a key execute
+// once; the later duplicates copy the first one's result. A job failure
+// does not stop the others — callers decide by inspecting Result.Err (see
+// FirstErr).
+func Run[T any](jobs []Job[T], opt Options) []Result[T] {
+	results := make([]Result[T], len(jobs))
+
+	// Dedup by key: the first job with a key is the primary; later jobs
+	// with the same key copy its result after the pool drains.
+	primaries := make([]int, 0, len(jobs))
+	dupOf := map[int]int{}
+	firstByKey := map[string]int{}
+	for i, j := range jobs {
+		if j.Key != "" {
+			if p, ok := firstByKey[j.Key]; ok {
+				dupOf[i] = p
+				continue
+			}
+			firstByKey[j.Key] = i
+		}
+		primaries = append(primaries, i)
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(primaries) {
+		workers = len(primaries)
+	}
+
+	var (
+		mu       sync.Mutex // serializes hooks and the progress counters
+		started  int
+		finished int
+	)
+	total := len(primaries)
+	emit := func(hook func(Event), ev Event) {
+		if hook == nil {
+			return
+		}
+		hook(ev)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				r := Result[T]{Name: j.Name, Key: j.Key}
+				if j.Key != "" && opt.Ledger != nil {
+					if hit, _ := opt.Ledger.Get(j.Key, &r.Value); hit {
+						r.Cached = true
+						results[i] = r
+						mu.Lock()
+						finished++
+						emit(opt.Hooks.Cached, Event{Seq: finished, Total: total, Name: j.Name, Key: j.Key})
+						mu.Unlock()
+						continue
+					}
+				}
+				mu.Lock()
+				started++
+				emit(opt.Hooks.Started, Event{Seq: started, Total: total, Name: j.Name, Key: j.Key})
+				mu.Unlock()
+				t0 := time.Now()
+				r.Value, r.Err = j.Run()
+				r.Elapsed = time.Since(t0)
+				if r.Err == nil && j.Key != "" && opt.Ledger != nil {
+					// Best effort: a ledger write failure only costs a
+					// future cache hit, never the computed result.
+					_ = opt.Ledger.Put(j.Key, j.Name, r.Value)
+				}
+				results[i] = r
+				mu.Lock()
+				finished++
+				emit(opt.Hooks.Finished, Event{Seq: finished, Total: total, Name: j.Name, Key: j.Key, Elapsed: r.Elapsed, Err: r.Err})
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, i := range primaries {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i, p := range dupOf {
+		results[i] = results[p]
+		results[i].Name = jobs[i].Name
+	}
+	return results
+}
+
+// FirstErr returns the first failure in input order, wrapped with the
+// failing job's name, or nil.
+func FirstErr[T any](results []Result[T]) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Name, r.Err)
+		}
+	}
+	return nil
+}
+
+// KeyOf derives a content-hash key from the given parts: each part is
+// JSON-encoded (deterministically — Go sorts map keys) into a SHA-256 hash.
+// Parts must be JSON-marshalable plain data; passing anything else is a
+// programming error and panics.
+func KeyOf(parts ...any) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, p := range parts {
+		if err := enc.Encode(p); err != nil {
+			panic(fmt.Sprintf("sched: unhashable key part %T: %v", p, err))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ConsoleHooks returns hooks that print one progress line per job state
+// change to w — the live progress display of the cmd/ front ends.
+func ConsoleHooks(w io.Writer) Hooks {
+	return Hooks{
+		Started: func(ev Event) {
+			fmt.Fprintf(w, "[%d/%d] run    %s\n", ev.Seq, ev.Total, ev.Name)
+		},
+		Finished: func(ev Event) {
+			if ev.Err != nil {
+				fmt.Fprintf(w, "[%d/%d] FAIL   %s: %v\n", ev.Seq, ev.Total, ev.Name, ev.Err)
+				return
+			}
+			fmt.Fprintf(w, "[%d/%d] done   %s (%.2fs)\n", ev.Seq, ev.Total, ev.Name, ev.Elapsed.Seconds())
+		},
+		Cached: func(ev Event) {
+			fmt.Fprintf(w, "[%d/%d] cached %s\n", ev.Seq, ev.Total, ev.Name)
+		},
+	}
+}

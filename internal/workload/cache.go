@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"maps"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/compiler"
+	"repro/internal/ia64"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// BuildCache compiles each (workload, build configuration) pair once per
+// process and stamps out independent Instances from the cached artifact.
+// An experiment sweep runs the same binary under many strategies and
+// thread counts; without the cache every cell recompiles the program from
+// IR (as icc would), with it the compiled image is cloned per cell —
+// the multi-version "compile once, instantiate many" pattern of binary
+// optimizer harnesses.
+//
+// The cached artifact is the pristine compiled image plus the compiler's
+// metadata; it is never executed or patched itself. Each Build clones the
+// image, so concurrent instances (including COBRA patching at run time)
+// share no mutable state. The compiler result and base addresses are
+// shared read-only.
+type BuildCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	art  *artifact
+	err  error
+}
+
+// artifact is one compiled program: everything deterministic about a
+// (workload, config) pair that does not involve execution.
+type artifact struct {
+	img   *ia64.Image      // pristine; cloned for every instance
+	res   *compiler.Result // read-only after compilation
+	bases compiler.ArrayMap
+}
+
+// NewBuildCache returns an empty cache.
+func NewBuildCache() *BuildCache {
+	return &BuildCache{entries: map[string]*cacheEntry{}}
+}
+
+// Stats reports cache activity: hits are instances served from a cached
+// artifact, misses are compilations performed.
+func (c *BuildCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Build assembles an Instance like the package-level Build, compiling at
+// most once per (workloadKey, machine, threads, compiler options).
+// workloadKey must uniquely identify the program content of w: two calls
+// with the same key and config are assumed to compile to identical
+// binaries (true of every workload in this repo — program generation is a
+// pure function of its parameters). The COBRA config is deliberately not
+// part of the cache key: it only affects the run-time harness, never the
+// compiled binary.
+func (c *BuildCache) Build(workloadKey string, w *Workload, bc BuildConfig) (*Instance, error) {
+	key := workloadKey + "\x00" + sched.KeyOf(bc.Machine, bc.Threads, bc.Compiler)
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	compiled := false
+	e.once.Do(func() {
+		compiled = true
+		c.misses.Add(1)
+		e.art, e.err = compileArtifact(w, bc)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	if !compiled {
+		c.hits.Add(1)
+	}
+
+	img := e.art.img.Clone()
+	m, err := machine.New(bc.Machine, img)
+	if err != nil {
+		return nil, err
+	}
+	bases, err := compiler.AllocArrays(m.Memory(), w.Prog)
+	if err != nil {
+		return nil, err
+	}
+	if !maps.Equal(bases, e.art.bases) {
+		// Array layout drifted from the cached compile (a workloadKey
+		// collision): the cached code's embedded addresses are wrong for
+		// this memory image, so compile fresh.
+		return Build(w, bc)
+	}
+	return assemble(w, bc, m, e.art.res, bases)
+}
+
+// compileArtifact compiles w into a pristine image. The machine built here
+// exists only to reproduce the deterministic array allocation; it is
+// discarded, and the image is never executed.
+func compileArtifact(w *Workload, bc BuildConfig) (*artifact, error) {
+	img := ia64.NewImage()
+	m, err := machine.New(bc.Machine, img)
+	if err != nil {
+		return nil, err
+	}
+	bases, err := compiler.AllocArrays(m.Memory(), w.Prog)
+	if err != nil {
+		return nil, err
+	}
+	res, err := compiler.Compile(img, w.Prog, bases, bc.Compiler)
+	if err != nil {
+		return nil, err
+	}
+	return &artifact{img: img, res: res, bases: bases}, nil
+}

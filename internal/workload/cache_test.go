@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/ia64"
+)
+
+func tinyDaxpy() *Workload {
+	return Daxpy(DaxpyParams{WorkingSetBytes: 32 << 10, OuterReps: 4})
+}
+
+func countLfetch(inst *Instance) int {
+	img := inst.Ctx.M.Image()
+	return img.OpCount(0, img.Len(), func(in ia64.Instr) bool { return in.Op == ia64.OpLfetch })
+}
+
+func TestBuildCacheCompilesOnce(t *testing.T) {
+	c := NewBuildCache()
+	bc := SMPConfig(2)
+
+	inst1, err := c.Build("daxpy-test", tinyDaxpy(), bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst2, err := c.Build("daxpy-test", tinyDaxpy(), bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+
+	m1, err := inst1.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := inst2.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatalf("cached instances diverge:\n%+v\n%+v", m1, m2)
+	}
+
+	// The cache must be transparent: same measurement as an uncached build.
+	plain, err := Build(tinyDaxpy(), bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := plain.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != mp {
+		t.Fatalf("cached build diverges from plain Build:\n%+v\n%+v", m1, mp)
+	}
+}
+
+func TestBuildCacheInstancesAreIsolated(t *testing.T) {
+	c := NewBuildCache()
+	bc := SMPConfig(2)
+
+	inst1, err := c.Build("daxpy-test", tinyDaxpy(), bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := countLfetch(inst1)
+	if before == 0 {
+		t.Fatal("compiled DAXPY has no prefetches")
+	}
+	// Statically patching one instance (the Figure 3 methodology) must not
+	// leak into later instances stamped from the same artifact.
+	if _, err := ApplyVariant(inst1, VariantNoPrefetch); err != nil {
+		t.Fatal(err)
+	}
+	if got := countLfetch(inst1); got != 0 {
+		t.Fatalf("variant left %d prefetches in patched instance", got)
+	}
+	inst2, err := c.Build("daxpy-test", tinyDaxpy(), bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countLfetch(inst2); got != before {
+		t.Fatalf("fresh instance has %d prefetches, want pristine %d", got, before)
+	}
+}
+
+func TestBuildCacheKeySeparatesConfigs(t *testing.T) {
+	c := NewBuildCache()
+	if _, err := c.Build("daxpy-test", tinyDaxpy(), SMPConfig(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Build("daxpy-test", tinyDaxpy(), SMPConfig(4)); err != nil {
+		t.Fatal(err)
+	}
+	nopf := SMPConfig(1)
+	nopf.Compiler.Prefetch = false
+	if _, err := c.Build("daxpy-test", tinyDaxpy(), nopf); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 3 {
+		t.Fatalf("stats = %d hits / %d misses, want 0/3", hits, misses)
+	}
+}

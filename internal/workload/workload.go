@@ -130,6 +130,12 @@ func Build(w *Workload, bc BuildConfig) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	return assemble(w, bc, m, res, bases)
+}
+
+// assemble wires the runtime layers (OpenMP, optional COBRA) around an
+// already-compiled machine — shared by Build and BuildCache.
+func assemble(w *Workload, bc BuildConfig, m *machine.Machine, res *compiler.Result, bases compiler.ArrayMap) (*Instance, error) {
 	rt, err := openmp.NewRuntime(m, bc.Threads)
 	if err != nil {
 		return nil, err
