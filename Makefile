@@ -1,13 +1,15 @@
 # CI entry points. `make ci` is the gate a change must pass: static
 # checks, a full build, the scheduler/experiment packages under the race
-# detector (the scheduler runs experiment cells concurrently), and the
-# full tier-1 test suite.
+# detector (the scheduler runs experiment cells concurrently), the full
+# tier-1 test suite, and a one-iteration benchmark smoke so the hot path
+# cannot silently stop compiling or regress to pathological cost.
 
 GO ?= go
+BENCH_LABEL ?= $(shell date -u +%Y-%m-%d)
 
-.PHONY: ci vet build race test bench results
+.PHONY: ci vet build race test bench bench-smoke results
 
-ci: vet build race test
+ci: vet build race test bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,8 +23,16 @@ race:
 test:
 	$(GO) test ./...
 
+# Full benchmark suite at -benchtime 1x with allocation stats, recorded
+# into the BENCH.json perf ledger under $(BENCH_LABEL).
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -out BENCH.json
+
+# One cheap iteration of the core throughput benchmark: a compile+run
+# smoke for the simulator hot path, not a measurement.
+bench-smoke:
+	$(GO) test -bench BenchmarkSimulatorThroughput -benchtime 1x -benchmem -run '^$$' .
 
 # Regenerate the committed experiment outputs through the scheduler.
 results:

@@ -1,0 +1,161 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// tracked BENCH.json perf ledger. Each run is appended as a dated entry
+// holding every benchmark's ns/op, B/op, allocs/op and custom metrics
+// (sim_instrs/op etc.), so the repository carries its own performance
+// trajectory and a regression is a one-line diff of BENCH.json.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -benchmem . | go run ./cmd/benchjson -label "pr2" -out BENCH.json
+//
+// The output file is read-modify-write: existing entries are preserved and
+// the new run appended. An entry with the same label is replaced, so
+// re-running a labelled benchmark updates its row instead of duplicating it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's parsed measurements. Metrics holds every
+// "value unit" pair on the line keyed by unit (ns/op, B/op, allocs/op,
+// sim_instrs/op, ...).
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Entry is one recorded benchmark run.
+type Entry struct {
+	Label      string   `json:"label"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// File is the whole BENCH.json document.
+type File struct {
+	Comment string  `json:"comment"`
+	Entries []Entry `json:"entries"`
+}
+
+const comment = "Performance ledger: appended by `make bench` via cmd/benchjson. " +
+	"Compare entries' ns/op across labels to track the simulator's perf trajectory."
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		label = flag.String("label", "", "entry label (default: date)")
+		out   = flag.String("out", "BENCH.json", "ledger file to update")
+		tee   = flag.Bool("tee", true, "echo stdin to stdout while parsing")
+	)
+	flag.Parse()
+
+	results := parse(os.Stdin, *tee)
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines found on stdin (need `go test -bench` output)")
+	}
+
+	date := time.Now().UTC().Format("2006-01-02")
+	lbl := *label
+	if lbl == "" {
+		lbl = date
+	}
+	entry := Entry{
+		Label:      lbl,
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: results,
+	}
+
+	var f File
+	if b, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(b, &f); err != nil {
+			log.Fatalf("existing %s is not valid JSON: %v", *out, err)
+		}
+	}
+	f.Comment = comment
+	replaced := false
+	for i := range f.Entries {
+		if f.Entries[i].Label == lbl {
+			f.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Entries = append(f.Entries, entry)
+	}
+
+	b, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("recorded %d benchmarks under label %q in %s", len(results), lbl, *out)
+}
+
+// parse extracts benchmark result lines ("BenchmarkX-8  1  123 ns/op  4 B/op ...")
+// from r, optionally echoing everything read.
+func parse(r *os.File, tee bool) []Result {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if tee {
+			fmt.Println(line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: trimProcSuffix(fields[0]), Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if len(res.Metrics) > 0 {
+			results = append(results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	return results
+}
+
+// trimProcSuffix drops the -GOMAXPROCS suffix so entries compare across
+// machines ("BenchmarkSimulatorThroughput-8" -> "BenchmarkSimulatorThroughput").
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -1,0 +1,85 @@
+// Golden-output tests: regenerate the committed results/ files in-process
+// and diff them byte-for-byte. This is the safety rail for every
+// simulator-hot-path change — the causal engine is deterministic, so any
+// byte of drift in a table or figure means the optimization changed
+// simulated behavior, not just speed.
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/npb"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// mustGolden reads a committed results file.
+func mustGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile("results/" + name)
+	if err != nil {
+		t.Fatalf("missing golden: %v", err)
+	}
+	return b
+}
+
+// diffBytes fails the test with the first differing line when got != want.
+func diffBytes(t *testing.T, name string, got, want []byte) {
+	t.Helper()
+	if bytes.Equal(got, want) {
+		return
+	}
+	gl := bytes.Split(got, []byte("\n"))
+	wl := bytes.Split(want, []byte("\n"))
+	n := len(gl)
+	if len(wl) < n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			t.Fatalf("%s drifted at line %d:\n got: %q\nwant: %q", name, i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("%s drifted: %d generated lines vs %d committed", name, len(gl), len(wl))
+}
+
+func TestGoldenTable1(t *testing.T) {
+	rows, err := experiment.Table1Sched(npb.ClassS, experiment.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	report.Table1(&buf, rows)
+	diffBytes(t, "results/table1.txt", buf.Bytes(), mustGolden(t, "table1.txt"))
+}
+
+func TestGoldenFigures567(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full class-S NPB sweeps on both machine models; skipped with -short")
+	}
+	// Reproduce `cobra-npb -figure all` exactly: per panel, Figures 5-7 and
+	// the COBRA activity report, each followed by a blank line, SMP panel
+	// first. One shared build cache, as the command uses.
+	opt := experiment.Options{Cache: workload.NewBuildCache()}
+	var buf bytes.Buffer
+	machines := map[byte]experiment.MachineKind{'a': experiment.SMP4, 'b': experiment.Altix8}
+	for _, panel := range []byte{'a', 'b'} {
+		res, err := experiment.RunNPBSched(machines[panel], npb.ClassS, nil, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report.Figure5(&buf, panel, res)
+		fmt.Fprintln(&buf)
+		report.Figure6(&buf, panel, res)
+		fmt.Fprintln(&buf)
+		report.Figure7(&buf, panel, res)
+		fmt.Fprintln(&buf)
+		report.CobraActivity(&buf, res)
+		fmt.Fprintln(&buf)
+	}
+	diffBytes(t, "results/figures567.txt", buf.Bytes(), mustGolden(t, "figures567.txt"))
+}

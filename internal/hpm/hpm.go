@@ -158,13 +158,12 @@ func (p *PMU) Freeze()   { p.frozen = true }
 func (p *PMU) Unfreeze() { p.frozen = false }
 
 // Add counts n occurrences of ev, firing overflow handlers as periods
-// cross.
+// cross. The untracked-event check comes first: it is the common case on
+// the simulator's per-instruction path (unmonitored runs program no
+// counters), and none of the checks' order is observable.
 func (p *PMU) Add(ev Event, n int64) {
-	if p.frozen || n == 0 {
-		return
-	}
 	slot := p.slotOf[ev]
-	if slot == 0 {
+	if slot == 0 || p.frozen || n == 0 {
 		return
 	}
 	c := &p.counters[slot-1]

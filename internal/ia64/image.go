@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // BundleSlots is the number of instruction slots per bundle. The compiler
@@ -27,13 +28,37 @@ type Func struct {
 // Patching is guarded by a mutex so a concurrent optimization thread can
 // rewrite code while simulated CPUs execute, mirroring the paper's
 // user-mode optimizer sharing the address space of the running program.
+// The generation counter is atomic so the executing CPUs' per-bundle
+// staleness check is a single load with no lock traffic, and a bounded
+// journal of patched slots lets a stale decode cache resynchronize by
+// re-decoding only the words that actually changed instead of the whole
+// image (see SyncDecode).
 type Image struct {
 	mu    sync.RWMutex
 	words []Word // 2*i and 2*i+1 hold slot i
 	dec   []Instr
 	funcs []Func
-	gen   uint64
+	gen   atomic.Uint64
+
+	// plog journals Patch calls since generation plogBase: an entry per
+	// patch, recording the generation that patch produced and the slot it
+	// rewrote. Appends need no entries — they only extend the image, and
+	// SyncDecode copies the tail positionally.
+	plog     []patchRec
+	plogBase uint64 // complete history is available for gens > plogBase
 }
+
+// patchRec is one patch journal entry.
+type patchRec struct {
+	gen uint64
+	pc  int
+}
+
+// plogMax bounds the patch journal; once exceeded, the oldest half is
+// dropped and decode caches older than the drop point fall back to a full
+// re-fetch. COBRA patches a handful of slots per optimizer pass, so in
+// practice the journal never wraps between two executions of a CPU.
+const plogMax = 512
 
 // NewImage returns an empty image.
 func NewImage() *Image {
@@ -48,12 +73,16 @@ func NewImage() *Image {
 func (im *Image) Clone() *Image {
 	im.mu.RLock()
 	defer im.mu.RUnlock()
-	return &Image{
+	c := &Image{
 		words: append([]Word(nil), im.words...),
 		dec:   append([]Instr(nil), im.dec...),
 		funcs: append([]Func(nil), im.funcs...),
-		gen:   im.gen,
 	}
+	c.gen.Store(im.gen.Load())
+	// The clone starts with an empty journal: any decode cache attaching to
+	// it syncs from generation 0 with a full fetch anyway.
+	c.plogBase = c.gen.Load()
+	return c
 }
 
 // Len returns the number of instruction slots in the image.
@@ -63,12 +92,12 @@ func (im *Image) Len() int {
 	return len(im.dec)
 }
 
-// Generation returns the patch generation counter. It increments on every
-// Patch, so a cached decode tagged with an older generation must re-fetch.
+// Generation returns the mutation generation counter. It increments on
+// every Patch and Append, so a cached decode tagged with the current
+// generation is exactly up to date. The load is lock-free: it sits on the
+// simulator's per-bundle hot path.
 func (im *Image) Generation() uint64 {
-	im.mu.RLock()
-	defer im.mu.RUnlock()
-	return im.gen
+	return im.gen.Load()
 }
 
 // Append adds encoded instructions at the end of the image and returns the
@@ -86,7 +115,7 @@ func (im *Image) appendLocked(instrs []Instr) int {
 		im.words = append(im.words, w0, w1)
 		im.dec = append(im.dec, in)
 	}
-	im.gen++ // decode caches must observe the new slots
+	im.gen.Add(1) // decode caches must observe the new slots
 	return start
 }
 
@@ -175,8 +204,40 @@ func (im *Image) Patch(pc int, in Instr) (Instr, error) {
 	old := im.dec[pc]
 	im.words[2*pc], im.words[2*pc+1] = w0, w1
 	im.dec[pc] = chk
-	im.gen++
+	gen := im.gen.Add(1)
+	im.plog = append(im.plog, patchRec{gen: gen, pc: pc})
+	if len(im.plog) > plogMax {
+		drop := len(im.plog) / 2
+		im.plogBase = im.plog[drop-1].gen
+		im.plog = append(im.plog[:0], im.plog[drop:]...)
+	}
 	return old, nil
+}
+
+// SyncDecode brings a decode cache dst, last synchronized at generation
+// have, up to date with the image, and returns the new cache and
+// generation. When the patch journal still covers every generation after
+// have, only the patched slots are re-decoded and appended slots copied;
+// otherwise the whole image is fetched. Callers should test Generation()
+// != have first — that check is lock-free.
+func (im *Image) SyncDecode(dst []Instr, have uint64) ([]Instr, uint64) {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	gen := im.gen.Load()
+	if gen == have && len(dst) == len(im.dec) {
+		return dst, gen
+	}
+	if have >= im.plogBase && len(dst) <= len(im.dec) {
+		for _, p := range im.plog {
+			if p.gen > have && p.pc < len(dst) {
+				dst[p.pc] = im.dec[p.pc]
+			}
+		}
+		dst = append(dst, im.dec[len(dst):]...)
+		return dst, gen
+	}
+	dst = append(dst[:0], im.dec...)
+	return dst, gen
 }
 
 // PatchWords rewrites slot pc with raw words, validating them first. It is

@@ -288,3 +288,115 @@ func TestDumpFunc(t *testing.T) {
 		}
 	}
 }
+
+// syncAll fully materializes a decode cache via SyncDecode from scratch.
+func syncAll(img *Image) ([]Instr, uint64) {
+	return img.SyncDecode(nil, 0)
+}
+
+func TestSyncDecodeIncrementalPatch(t *testing.T) {
+	img := NewImage()
+	for i := 0; i < 16; i++ {
+		img.Append(Instr{Op: OpAddI, R1: uint8(i), R2: uint8(i), Imm: int64(i)})
+	}
+	dec, gen := syncAll(img)
+	if len(dec) != 16 || gen != img.Generation() {
+		t.Fatalf("initial sync: len=%d gen=%d (image gen %d)", len(dec), gen, img.Generation())
+	}
+
+	if _, err := img.Patch(5, Instr{Op: OpNop}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.Patch(11, Instr{Op: OpMovI, R1: 7, Imm: 99}); err != nil {
+		t.Fatal(err)
+	}
+	dec, gen = img.SyncDecode(dec, gen)
+	if gen != img.Generation() {
+		t.Fatalf("sync gen = %d, want %d", gen, img.Generation())
+	}
+	for pc := 0; pc < img.Len(); pc++ {
+		if dec[pc] != img.Fetch(pc) {
+			t.Fatalf("slot %d stale after incremental sync: %+v vs %+v", pc, dec[pc], img.Fetch(pc))
+		}
+	}
+
+	// A second sync at the same generation is a no-op returning the same
+	// backing array.
+	dec2, gen2 := img.SyncDecode(dec, gen)
+	if gen2 != gen || &dec2[0] != &dec[0] {
+		t.Fatal("up-to-date sync must return the cache unchanged")
+	}
+}
+
+func TestSyncDecodeCopiesAppendedTail(t *testing.T) {
+	img := NewImage()
+	img.Append(Instr{Op: OpNop}, Instr{Op: OpNop})
+	dec, gen := syncAll(img)
+
+	img.Append(Instr{Op: OpMovI, R1: 3, Imm: 42}, Instr{Op: OpHalt})
+	if _, err := img.Patch(0, Instr{Op: OpMovI, R1: 1, Imm: 1}); err != nil {
+		t.Fatal(err)
+	}
+	dec, gen = img.SyncDecode(dec, gen)
+	if len(dec) != 4 {
+		t.Fatalf("len = %d after append sync, want 4", len(dec))
+	}
+	for pc := 0; pc < 4; pc++ {
+		if dec[pc] != img.Fetch(pc) {
+			t.Fatalf("slot %d wrong after append+patch sync", pc)
+		}
+	}
+	_ = gen
+}
+
+func TestSyncDecodeJournalOverflowFallsBackToFullFetch(t *testing.T) {
+	img := NewImage()
+	for i := 0; i < 8; i++ {
+		img.Append(Instr{Op: OpNop})
+	}
+	dec, gen := syncAll(img)
+
+	// Overflow the patch journal so the cache's generation predates
+	// plogBase; SyncDecode must still produce an exact copy (full refetch).
+	for i := 0; i < plogMax+200; i++ {
+		if _, err := img.Patch(i%8, Instr{Op: OpMovI, R1: uint8(i % 4), Imm: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, gen = img.SyncDecode(dec, gen)
+	if gen != img.Generation() {
+		t.Fatalf("gen = %d, want %d", gen, img.Generation())
+	}
+	for pc := 0; pc < 8; pc++ {
+		if dec[pc] != img.Fetch(pc) {
+			t.Fatalf("slot %d stale after journal overflow", pc)
+		}
+	}
+}
+
+func TestCloneSyncsFromScratch(t *testing.T) {
+	img := NewImage()
+	img.Append(Instr{Op: OpMovI, R1: 2, Imm: 7}, Instr{Op: OpHalt})
+	for i := 0; i < 3; i++ {
+		if _, err := img.Patch(0, Instr{Op: OpMovI, R1: 2, Imm: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := img.Clone()
+	dec, gen := syncAll(c)
+	if gen != c.Generation() || len(dec) != c.Len() {
+		t.Fatalf("clone sync: len=%d gen=%d", len(dec), gen)
+	}
+	for pc := 0; pc < c.Len(); pc++ {
+		if dec[pc] != c.Fetch(pc) {
+			t.Fatalf("clone slot %d wrong", pc)
+		}
+	}
+	// Patching the clone must not disturb the original's decode stream.
+	if _, err := c.Patch(0, Instr{Op: OpNop}); err != nil {
+		t.Fatal(err)
+	}
+	if img.Fetch(0).Op == OpNop {
+		t.Fatal("patching clone mutated original")
+	}
+}

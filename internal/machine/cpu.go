@@ -38,28 +38,46 @@ func newCPU(m *Machine, id int) *CPU {
 }
 
 // refillDecode mirrors the image into the CPU's decode cache when the
-// binary has been patched or extended.
+// binary has been patched or extended. The generation probe is a lock-free
+// atomic load — it runs once per issue group — and resynchronization after
+// a patch re-decodes only the journaled slots, not the whole image.
 func (c *CPU) refillDecode() {
-	gen := c.m.img.Generation()
-	if gen == c.decGen && len(c.dec) == c.m.img.Len() {
+	if c.m.img.Generation() == c.decGen {
 		return
 	}
-	c.dec = c.m.img.FetchRange(0, c.m.img.Len(), c.dec)
-	c.decGen = gen
+	c.dec, c.decGen = c.m.img.SyncDecode(c.dec, c.decGen)
 }
 
-// feedMemEvents translates memory-system counter deltas into PMU events.
-func (c *CPU) feedMemEvents(before, after mem.CPUStats) {
+// feedMemEvents translates the event deltas of one memory access into PMU
+// events. Only non-zero events are offered; PMU.Add ignores zero counts, so
+// skipping them is behavior-preserving and keeps the common all-zero case
+// (cache hits) to a single struct compare in the caller.
+func (c *CPU) feedMemEvents(ev *mem.EventDelta) {
 	p := c.PMU
-	p.Add(hpm.EvL2Misses, after.L2Misses-before.L2Misses)
-	p.Add(hpm.EvL3Misses, after.L3Misses-before.L3Misses)
-	p.Add(hpm.EvL3Writebacks, after.Writebacks-before.Writebacks)
-	p.Add(hpm.EvBusMemory, after.BusMemory-before.BusMemory)
-	p.Add(hpm.EvBusRdHit, after.BusRdHit-before.BusRdHit)
-	p.Add(hpm.EvBusRdHitm, after.BusRdHitm-before.BusRdHitm)
-	p.Add(hpm.EvBusRdInvalAllHitm, after.BusRdInvalAllHitm-before.BusRdInvalAllHitm)
-	p.Add(hpm.EvBusCoherent,
-		(after.BusRdHitm-before.BusRdHitm)+(after.BusRdInvalAllHitm-before.BusRdInvalAllHitm))
+	if ev.L2Miss != 0 {
+		p.Add(hpm.EvL2Misses, int64(ev.L2Miss))
+	}
+	if ev.L3Miss != 0 {
+		p.Add(hpm.EvL3Misses, int64(ev.L3Miss))
+	}
+	if ev.Writebacks != 0 {
+		p.Add(hpm.EvL3Writebacks, int64(ev.Writebacks))
+	}
+	if ev.BusMemory != 0 {
+		p.Add(hpm.EvBusMemory, int64(ev.BusMemory))
+	}
+	if ev.BusRdHit != 0 {
+		p.Add(hpm.EvBusRdHit, int64(ev.BusRdHit))
+	}
+	if ev.BusRdHitm != 0 {
+		p.Add(hpm.EvBusRdHitm, int64(ev.BusRdHitm))
+	}
+	if ev.BusRdInvalAllHitm != 0 {
+		p.Add(hpm.EvBusRdInvalAllHitm, int64(ev.BusRdInvalAllHitm))
+	}
+	if coh := int64(ev.BusRdHitm) + int64(ev.BusRdInvalAllHitm); coh != 0 {
+		p.Add(hpm.EvBusCoherent, coh)
+	}
 }
 
 // issueBundles is the front-end width: two bundles (six slots) issue per
@@ -155,9 +173,8 @@ func (c *CPU) exec(in ia64.Instr, pc int) error {
 			kind = mem.LoadBias
 		}
 		addr := uint64(rf.GR(in.R2))
-		res := c.access(addr, kind, pc)
+		c.access(addr, kind, pc)
 		rf.SetGR(in.R1, c.m.memory.ReadI64(addr))
-		_ = res
 	case ia64.OpLdf:
 		addr := uint64(rf.GR(in.R2))
 		c.access(addr, mem.LoadFP, pc)
@@ -230,12 +247,13 @@ func (c *CPU) exec(in ia64.Instr, pc int) error {
 }
 
 // access routes a memory operation through the coherence domain, advances
-// the cycle clock for blocking accesses, and feeds the PMU.
+// the cycle clock for blocking accesses, and feeds the PMU from the event
+// deltas the access itself reports (no stats snapshotting on this path).
 func (c *CPU) access(addr uint64, kind mem.AccessKind, pc int) mem.AccessResult {
-	before := c.m.dom.Stats(c.ID)
 	res := c.m.dom.Access(c.ID, addr, kind, c.Cycle)
-	after := c.m.dom.Stats(c.ID)
-	c.feedMemEvents(before, after)
+	if res.Ev != (mem.EventDelta{}) {
+		c.feedMemEvents(&res.Ev)
+	}
 
 	switch kind {
 	case mem.LoadInt, mem.LoadFP, mem.LoadBias:

@@ -57,6 +57,11 @@ type Machine struct {
 	dom    *mem.Domain
 	cpus   []*CPU
 	timers []*Timer
+
+	// timerNext caches the earliest pending Timer.NextAt (0 when none), so
+	// the per-step dispatch check in RunAll is a single comparison instead
+	// of a scan of the timer list.
+	timerNext int64
 }
 
 // New builds a machine for cfg executing img.
@@ -97,8 +102,46 @@ func (m *Machine) CPU(id int) *CPU { return m.cpus[id] }
 // PMU returns the performance monitoring unit of processor id.
 func (m *Machine) PMU(id int) *hpm.PMU { return m.cpus[id].PMU }
 
-// AddTimer registers a simulated-time callback.
-func (m *Machine) AddTimer(t *Timer) { m.timers = append(m.timers, t) }
+// AddTimer registers a simulated-time callback. Timers due at the same
+// cycle fire in registration order. After registration the timer's NextAt
+// must only change through its Fn return value; external mutation would
+// desynchronize the cached earliest deadline.
+func (m *Machine) AddTimer(t *Timer) {
+	m.timers = append(m.timers, t)
+	if t.NextAt > 0 && (m.timerNext == 0 || t.NextAt < m.timerNext) {
+		m.timerNext = t.NextAt
+	}
+}
+
+// fireTimers runs one dispatch pass at cycle now: every pending timer due
+// at or before now fires once, in registration order; cancelled timers
+// (Fn returned a time <= now) are compacted out of the list; and the
+// earliest-deadline cache is recomputed.
+func (m *Machine) fireTimers(now int64) {
+	for _, t := range m.timers {
+		if t.NextAt > 0 && t.NextAt <= now {
+			next := t.Fn(now)
+			if next <= now {
+				t.NextAt = 0 // cancelled
+			} else {
+				t.NextAt = next
+			}
+		}
+	}
+	// Compact and recompute the deadline cache over m.timers itself, which
+	// may have grown if a Fn registered new timers.
+	live := m.timers[:0]
+	m.timerNext = 0
+	for _, t := range m.timers {
+		if t.NextAt > 0 {
+			if m.timerNext == 0 || t.NextAt < m.timerNext {
+				m.timerNext = t.NextAt
+			}
+			live = append(live, t)
+		}
+	}
+	m.timers = live
+}
 
 // SamplePC returns the current PC of cpu (perfmon.Context).
 func (m *Machine) SamplePC(cpu int) int { return m.cpus[cpu].PC }
@@ -149,17 +192,38 @@ func (m *Machine) StartThread(cpu int, entry int, threadID int, setup func(rf *i
 }
 
 // RunAll executes the given CPUs until all halt, firing timers in causal
-// order. It returns the number of instructions retired during the run.
+// order (timers due at equal cycles fire in registration order). It returns
+// the number of instructions retired during the run.
+//
+// Calling RunAll with a non-empty set of CPUs that are all already halted
+// while timers are pending is an error: no CPU will ever advance simulated
+// time, so the timers could never fire and the call would silently report
+// success without doing the work the caller queued.
 func (m *Machine) RunAll(active []int) (int64, error) {
+	if len(active) > 0 && m.timerNext != 0 {
+		allHalted := true
+		for _, id := range active {
+			if !m.cpus[id].Halted {
+				allHalted = false
+				break
+			}
+		}
+		if allHalted {
+			return 0, fmt.Errorf("machine: RunAll: all %d CPUs halted with a timer pending at cycle %d — timers can never fire (StartThread first)",
+				len(active), m.timerNext)
+		}
+	}
 	var retired int64
 	for {
 		best := -1
+		runnable := 0
 		var bc int64
 		for _, id := range active {
 			c := m.cpus[id]
 			if c.Halted {
 				continue
 			}
+			runnable++
 			if best == -1 || c.Cycle < bc || (c.Cycle == bc && id < best) {
 				best, bc = id, c.Cycle
 			}
@@ -167,25 +231,40 @@ func (m *Machine) RunAll(active []int) (int64, error) {
 		if best == -1 {
 			return retired, nil
 		}
-		// Fire any timer due before the next step.
-		for _, t := range m.timers {
-			if t.NextAt > 0 && t.NextAt <= bc {
-				next := t.Fn(bc)
-				if next <= bc {
-					t.NextAt = 0 // cancelled
-				} else {
-					t.NextAt = next
+		c := m.cpus[best]
+		if runnable == 1 {
+			// Fast path: a single runnable CPU (every serial region and
+			// 1-thread cell, and the tail of any parallel region) steps
+			// without rescanning the active set. It breaks back to the
+			// outer loop to fire a due timer, whose Fn may wake other CPUs.
+			for !c.Halted && (m.timerNext == 0 || c.Cycle < m.timerNext) {
+				n, err := c.stepBundle()
+				retired += n
+				if err != nil {
+					return retired, err
+				}
+				if retired > m.cfg.MaxInstrPerRun {
+					return retired, fmt.Errorf("machine: instruction budget %d exceeded (runaway loop? PC=%d on CPU %d)",
+						m.cfg.MaxInstrPerRun, c.PC, best)
 				}
 			}
+			if !c.Halted {
+				m.fireTimers(c.Cycle)
+			}
+			continue
 		}
-		n, err := m.cpus[best].stepBundle()
+		// Fire any timer due before the next step.
+		if m.timerNext != 0 && m.timerNext <= bc {
+			m.fireTimers(bc)
+		}
+		n, err := c.stepBundle()
 		if err != nil {
 			return retired, err
 		}
 		retired += n
 		if retired > m.cfg.MaxInstrPerRun {
 			return retired, fmt.Errorf("machine: instruction budget %d exceeded (runaway loop? PC=%d on CPU %d)",
-				m.cfg.MaxInstrPerRun, m.cpus[best].PC, best)
+				m.cfg.MaxInstrPerRun, c.PC, best)
 		}
 	}
 }

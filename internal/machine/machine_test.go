@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/hpm"
@@ -273,6 +274,100 @@ func TestPatchTakesEffectMidRun(t *testing.T) {
 	}
 	if st.Prefetches == 0 {
 		t.Fatal("prefetches = 0: patch applied before any execution?")
+	}
+}
+
+func TestTimersFireInRegistrationOrderAtEqualCycles(t *testing.T) {
+	// Three timers: two due at the same cycle (must fire in registration
+	// order) and one due earlier (must fire first). The dispatch contract is
+	// what keeps COBRA runs reproducible when several optimizer threads
+	// share a deadline.
+	img := ia64.NewImage()
+	entry := asmSumLoop(img)
+	m := testMachine(t, img, 1)
+	base := m.Memory().MustAlloc("a", 8*512, 128)
+
+	var order []string
+	m.AddTimer(&Timer{NextAt: 700, Fn: func(now int64) int64 {
+		order = append(order, "A@700")
+		return 0
+	}})
+	m.AddTimer(&Timer{NextAt: 700, Fn: func(now int64) int64 {
+		order = append(order, "B@700")
+		return 0
+	}})
+	m.AddTimer(&Timer{NextAt: 200, Fn: func(now int64) int64 {
+		order = append(order, "C@200")
+		return 0
+	}})
+
+	m.StartThread(0, entry, 1, func(rf *ia64.RegFile) {
+		rf.SetGR(8, int64(base))
+		rf.SetGR(10, 511)
+	})
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := "C@200,A@700,B@700"
+	got := strings.Join(order, ",")
+	if got != want {
+		t.Fatalf("timer firing order = %s, want %s", got, want)
+	}
+}
+
+func TestTimerRegisteredByTimerFnIsNotLost(t *testing.T) {
+	// A timer Fn that registers a new timer mid-dispatch (as the COBRA
+	// runtime does when it spins up a phase-specific optimizer) must not be
+	// dropped by the dispatch pass's compaction.
+	img := ia64.NewImage()
+	entry := asmSumLoop(img)
+	m := testMachine(t, img, 1)
+	base := m.Memory().MustAlloc("a", 8*512, 128)
+
+	childFired := false
+	m.AddTimer(&Timer{NextAt: 200, Fn: func(now int64) int64 {
+		m.AddTimer(&Timer{NextAt: now + 100, Fn: func(now int64) int64 {
+			childFired = true
+			return 0
+		}})
+		return 0
+	}})
+	m.StartThread(0, entry, 1, func(rf *ia64.RegFile) {
+		rf.SetGR(8, int64(base))
+		rf.SetGR(10, 511)
+	})
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !childFired {
+		t.Fatal("timer registered from within a timer Fn never fired")
+	}
+}
+
+func TestRunAllHaltedCPUsWithPendingTimerIsError(t *testing.T) {
+	img := ia64.NewImage()
+	a := ia64.NewAsm(img, "halt")
+	a.Emit(ia64.Instr{Op: ia64.OpHalt})
+	entry, _ := a.Close()
+	m := testMachine(t, img, 1)
+	m.AddTimer(&Timer{NextAt: 1000, Fn: func(now int64) int64 { return now + 1000 }})
+
+	// All CPUs halted (no StartThread) + a pending timer: the timer can
+	// never fire, so RunAll must refuse instead of silently succeeding.
+	if _, err := m.RunAll([]int{0}); err == nil {
+		t.Fatal("RunAll succeeded with all CPUs halted and a timer pending")
+	}
+
+	// After starting a thread the same call must succeed, even though the
+	// timer is still pending when the CPU halts at the end of the run.
+	m.StartThread(0, entry, 1, nil)
+	if _, err := m.RunAll([]int{0}); err != nil {
+		t.Fatalf("RunAll with a runnable CPU: %v", err)
+	}
+
+	// An empty active set is a no-op, never an error.
+	if n, err := m.RunAll(nil); err != nil || n != 0 {
+		t.Fatalf("RunAll(nil) = %d, %v", n, err)
 	}
 }
 

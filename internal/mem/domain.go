@@ -158,14 +158,31 @@ func (s CPUStats) CoherentRatio() float64 {
 	return float64(s.BusRdHit+s.BusRdHitm+s.BusRdInvalAllHitm) / float64(s.BusMemory)
 }
 
+// EventDelta is the set of PMU-visible event counts one access generated.
+// Domain.Access returns it inside AccessResult so the simulated CPU can
+// feed its PMU directly from the access that produced the events, instead
+// of snapshotting and diffing full CPUStats around every access. Counts are
+// tiny (an access produces at most two bus transactions: its own plus a
+// castout), so single bytes suffice.
+type EventDelta struct {
+	L2Miss            uint8
+	L3Miss            uint8
+	Writebacks        uint8 // L3 castout of a Modified victim
+	BusMemory         uint8
+	BusRdHit          uint8
+	BusRdHitm         uint8
+	BusRdInvalAllHitm uint8
+}
+
 // AccessResult reports the outcome of one memory access.
 type AccessResult struct {
-	Done     int64 // cycle the access completes (== issue cycle for prefetches)
-	Latency  int64 // Done - issue cycle for demand ops; fill latency for prefetches
-	Level    Level // where the access was satisfied
-	Coherent bool  // involved another CPU's cache (HITM supply or invalidation)
-	BusTxn   bool  // issued a system transaction
-	Dropped  bool  // prefetch discarded for want of an MSHR
+	Done     int64      // cycle the access completes (== issue cycle for prefetches)
+	Latency  int64      // Done - issue cycle for demand ops; fill latency for prefetches
+	Level    Level      // where the access was satisfied
+	Coherent bool       // involved another CPU's cache (HITM supply or invalidation)
+	BusTxn   bool       // issued a system transaction
+	Dropped  bool       // prefetch discarded for want of an MSHR
+	Ev       EventDelta // PMU-visible events this access generated
 }
 
 // hierarchy is one CPU's private cache stack.
@@ -181,11 +198,12 @@ type hierarchy struct {
 // interconnect, and the backing memory, with MESI state kept consistent by
 // snooping on every transaction.
 type Domain struct {
-	cfg   Config
-	mem   *Memory
-	icn   Interconnect
-	hiers []*hierarchy
-	stats []CPUStats
+	cfg      Config
+	mem      *Memory
+	icn      Interconnect
+	hiers    []*hierarchy
+	stats    []CPUStats
+	lineMask uint64 // hoisted from cfg: applied on every access
 }
 
 // NewDomain builds the memory system for cfg backed by memory m.
@@ -200,10 +218,11 @@ func NewDomain(cfg Config, m *Memory) (*Domain, error) {
 		icn = NewBus(cfg.Lat)
 	}
 	d := &Domain{
-		cfg:   cfg,
-		mem:   m,
-		icn:   icn,
-		stats: make([]CPUStats, cfg.NumCPUs),
+		cfg:      cfg,
+		mem:      m,
+		icn:      icn,
+		stats:    make([]CPUStats, cfg.NumCPUs),
+		lineMask: ^uint64(cfg.L2.LineBytes - 1),
 	}
 	for i := 0; i < cfg.NumCPUs; i++ {
 		d.hiers = append(d.hiers, &hierarchy{
@@ -308,7 +327,8 @@ func (d *Domain) l2Insert(h *hierarchy, addr uint64, state MESIState, readyAt in
 
 // l3Insert installs a line into L3, casting out Modified victims to memory
 // over the interconnect and back-invalidating inner levels (inclusion).
-func (d *Domain) l3Insert(h *hierarchy, addr uint64, state MESIState, readyAt, now int64) {
+// Castout events accumulate into ev, charged to the accessing CPU.
+func (d *Domain) l3Insert(h *hierarchy, ev *EventDelta, addr uint64, state MESIState, readyAt, now int64) {
 	victim, evicted := h.l3.insert(addr, state, readyAt)
 	if !evicted {
 		return
@@ -322,8 +342,8 @@ func (d *Domain) l3Insert(h *hierarchy, addr uint64, state MESIState, readyAt, n
 	if wasM {
 		home := d.homeNode(va, h.cpu)
 		d.icn.Transact(h.cpu, home, TxnWriteback, SnoopResult{}, now)
-		d.stats[h.cpu].Writebacks++
-		d.stats[h.cpu].BusMemory++
+		ev.Writebacks++
+		ev.BusMemory++
 	}
 }
 
@@ -358,11 +378,30 @@ func (h *hierarchy) claimMSHR(now, readyAt int64) bool {
 // Access performs one memory access by cpu at cycle now and returns its
 // timing and event classification. Demand accesses block until data
 // arrives; prefetches never block the issuing CPU.
+//
+// The PMU-visible events the access generated come back in the result's Ev
+// field; the same deltas are folded into the per-CPU CPUStats here, in one
+// place, so Stats and the sum of returned deltas can never disagree.
 func (d *Domain) Access(cpu int, addr uint64, kind AccessKind, now int64) AccessResult {
 	h := d.hiers[cpu]
 	st := &d.stats[cpu]
-	lineMask := ^uint64(d.cfg.L2.LineBytes - 1)
-	la := addr & lineMask
+	var ev EventDelta
+	res := d.access(h, st, &ev, addr, kind, now)
+	if ev != (EventDelta{}) { // cache hits generate no events: skip the fold
+		st.L2Misses += int64(ev.L2Miss)
+		st.L3Misses += int64(ev.L3Miss)
+		st.Writebacks += int64(ev.Writebacks)
+		st.BusMemory += int64(ev.BusMemory)
+		st.BusRdHit += int64(ev.BusRdHit)
+		st.BusRdHitm += int64(ev.BusRdHitm)
+		st.BusRdInvalAllHitm += int64(ev.BusRdInvalAllHitm)
+		res.Ev = ev
+	}
+	return res
+}
+
+func (d *Domain) access(h *hierarchy, st *CPUStats, ev *EventDelta, addr uint64, kind AccessKind, now int64) AccessResult {
+	la := addr & d.lineMask
 
 	switch kind {
 	case LoadInt, LoadFP, LoadBias:
@@ -374,7 +413,7 @@ func (d *Domain) Access(cpu int, addr uint64, kind AccessKind, now int64) Access
 	}
 
 	if kind.IsPrefetch() {
-		return d.prefetch(h, st, la, kind, now)
+		return d.prefetch(h, st, ev, la, kind, now)
 	}
 
 	wantsX := kind.wantsExclusive()
@@ -414,9 +453,9 @@ func (d *Domain) Access(cpu int, addr uint64, kind AccessKind, now int64) Access
 			return AccessResult{Done: done, Latency: done - now, Level: LvlL2}
 		}
 		// Shared line, exclusive intent: upgrade.
-		return d.upgrade(h, st, la, kind, now)
+		return d.upgrade(h, st, ev, la, kind, now)
 	}
-	st.L2Misses++
+	ev.L2Miss++
 
 	// L3.
 	if l3 := h.l3.lookup(la); l3 != nil {
@@ -440,20 +479,20 @@ func (d *Domain) Access(cpu int, addr uint64, kind AccessKind, now int64) Access
 			st.DemandLatencyTotal += done - now
 			return AccessResult{Done: done, Latency: done - now, Level: LvlL3}
 		}
-		return d.upgrade(h, st, la, kind, now)
+		return d.upgrade(h, st, ev, la, kind, now)
 	}
-	st.L3Misses++
+	ev.L3Miss++
 
 	// System transaction.
-	return d.fill(h, st, la, kind, now, false)
+	return d.fill(h, st, ev, la, kind, now, false)
 }
 
 // upgrade performs an invalidate-only ownership upgrade of a Shared line.
-func (d *Domain) upgrade(h *hierarchy, st *CPUStats, la uint64, kind AccessKind, now int64) AccessResult {
+func (d *Domain) upgrade(h *hierarchy, st *CPUStats, ev *EventDelta, la uint64, kind AccessKind, now int64) AccessResult {
 	sr := d.snoop(h.cpu, la, true)
 	home := d.homeNode(la, h.cpu)
 	done := d.icn.Transact(h.cpu, home, TxnUpgrade, sr, now)
-	st.BusMemory++
+	ev.BusMemory++
 	st.BusUpgrades++
 	coherent := sr.HitClean || sr.HitM
 	if coherent {
@@ -470,7 +509,7 @@ func (d *Domain) upgrade(h *hierarchy, st *CPUStats, la uint64, kind AccessKind,
 
 // fill services a demand miss (or a prefetch when asPrefetch is true) with
 // a system transaction and installs the line.
-func (d *Domain) fill(h *hierarchy, st *CPUStats, la uint64, kind AccessKind, now int64, asPrefetch bool) AccessResult {
+func (d *Domain) fill(h *hierarchy, st *CPUStats, ev *EventDelta, la uint64, kind AccessKind, now int64, asPrefetch bool) AccessResult {
 	wantsX := kind.wantsExclusive()
 	sr := d.snoop(h.cpu, la, wantsX)
 	home := d.homeNode(la, h.cpu)
@@ -480,25 +519,25 @@ func (d *Domain) fill(h *hierarchy, st *CPUStats, la uint64, kind AccessKind, no
 		txn = TxnReadExcl
 	}
 	done := d.icn.Transact(h.cpu, home, txn, sr, now)
-	st.BusMemory++
+	ev.BusMemory++
 
 	coherent := false
 	level := LvlMemory
 	switch {
 	case sr.HitM && wantsX:
-		st.BusRdInvalAllHitm++
+		ev.BusRdInvalAllHitm++
 		coherent = true
 		level = LvlRemote
 	case sr.HitM:
-		st.BusRdHitm++
+		ev.BusRdHitm++
 		coherent = true
 		level = LvlRemote
 	case sr.HitClean && wantsX:
 		// Invalidation of clean copies: coherent traffic, data from memory.
-		st.BusRdHit++
+		ev.BusRdHit++
 		coherent = true
 	case sr.HitClean:
-		st.BusRdHit++
+		ev.BusRdHit++
 		coherent = true
 	}
 	if coherent && !asPrefetch {
@@ -521,7 +560,7 @@ func (d *Domain) fill(h *hierarchy, st *CPUStats, la uint64, kind AccessKind, no
 		state = Exclusive
 	}
 
-	d.l3Insert(h, la, state, done, now)
+	d.l3Insert(h, ev, la, state, done, now)
 	d.l2Insert(h, la, state, done)
 	if kind == LoadInt {
 		h.l1.insert(la, Shared, done)
@@ -538,7 +577,7 @@ func (d *Domain) fill(h *hierarchy, st *CPUStats, la uint64, kind AccessKind, no
 // prefetch handles lfetch/lfetch.excl: non-binding, non-blocking, dropped
 // when no MSHR is free (as real lfetch is dropped when resources are
 // exhausted).
-func (d *Domain) prefetch(h *hierarchy, st *CPUStats, la uint64, kind AccessKind, now int64) AccessResult {
+func (d *Domain) prefetch(h *hierarchy, st *CPUStats, ev *EventDelta, la uint64, kind AccessKind, now int64) AccessResult {
 	// Already present (or being filled): nothing to do. An exclusive
 	// prefetch of a line held Shared performs an upgrade.
 	if l2 := h.l2.lookup(la); l2 != nil {
@@ -546,7 +585,7 @@ func (d *Domain) prefetch(h *hierarchy, st *CPUStats, la uint64, kind AccessKind
 			sr := d.snoop(h.cpu, la, true)
 			home := d.homeNode(la, h.cpu)
 			d.icn.Transact(h.cpu, home, TxnUpgrade, sr, now)
-			st.BusMemory++
+			ev.BusMemory++
 			st.BusUpgrades++
 			l2.state = Exclusive
 			if l3 := h.l3.peek(la); l3 != nil {
@@ -556,13 +595,13 @@ func (d *Domain) prefetch(h *hierarchy, st *CPUStats, la uint64, kind AccessKind
 		}
 		return AccessResult{Done: now, Level: LvlNone}
 	}
-	st.L2Misses++ // the prefetch missed L2 (it may still hit L3)
+	ev.L2Miss++ // the prefetch missed L2 (it may still hit L3)
 	if l3 := h.l3.lookup(la); l3 != nil {
 		if kind == PrefExcl && l3.state == Shared {
 			sr := d.snoop(h.cpu, la, true)
 			home := d.homeNode(la, h.cpu)
 			d.icn.Transact(h.cpu, home, TxnUpgrade, sr, now)
-			st.BusMemory++
+			ev.BusMemory++
 			st.BusUpgrades++
 			l3.state = Exclusive
 			d.l2Insert(h, la, Exclusive, now+d.cfg.Lat.L3Hit)
@@ -571,14 +610,14 @@ func (d *Domain) prefetch(h *hierarchy, st *CPUStats, la uint64, kind AccessKind
 		d.l2Insert(h, la, l3.state, now+d.cfg.Lat.L3Hit)
 		return AccessResult{Done: now, Level: LvlNone}
 	}
-	st.L3Misses++
+	ev.L3Miss++
 
 	// Need a fill: claim an MSHR or drop.
 	if h.activeMSHRs(now) >= len(h.mshr) {
 		st.PrefetchesDropped++
 		return AccessResult{Done: now, Level: LvlNone, Dropped: true}
 	}
-	res := d.fill(h, st, la, kind, now, true)
+	res := d.fill(h, st, ev, la, kind, now, true)
 	h.claimMSHR(now, now+res.Latency)
 	return res
 }
@@ -587,7 +626,7 @@ func (d *Domain) prefetch(h *hierarchy, st *CPUStats, la uint64, kind AccessKind
 // LRU or timing state. Tests and the COBRA profiler use it.
 func (d *Domain) Probe(cpu int, addr uint64) MESIState {
 	h := d.hiers[cpu]
-	la := addr & ^uint64(d.cfg.L2.LineBytes-1)
+	la := addr & d.lineMask
 	state := Invalid
 	if l := h.l3.peek(la); l != nil {
 		state = l.state

@@ -6,11 +6,27 @@ import (
 	"math"
 )
 
+// Chunking granularity of the backing store. Physical memory is materialized
+// in fixed-size chunks on first write, so building a machine with the
+// paper's 256 MB memory costs a pointer array, not a 256 MB clear — machine
+// construction is on the experiment schedulers' per-cell path, and zeroing
+// the full backing store dominated cold-sweep profiles.
+const (
+	chunkShift = 20 // 1 MB chunks
+	chunkBytes = 1 << chunkShift
+	chunkMask  = chunkBytes - 1
+)
+
 // Memory is the flat simulated physical memory: a byte-addressed backing
 // store with a bump allocator for named segments and per-page NUMA home
 // nodes assigned by first-touch (the SGI Altix policy the paper relies on).
+//
+// The backing store is sparse: chunks materialize on first write and reads
+// of untouched memory return zero, exactly as the previous eagerly-zeroed
+// array behaved.
 type Memory struct {
-	data     []byte
+	size     uint64
+	chunks   [][]byte // nil until first write to the chunk
 	pageSize uint64
 	home     []int16 // page index -> node, -1 until first touch
 	brk      uint64
@@ -31,7 +47,8 @@ func NewMemory(size, pageSize uint64) *Memory {
 	}
 	npages := (size + pageSize - 1) / pageSize
 	m := &Memory{
-		data:     make([]byte, size),
+		size:     size,
+		chunks:   make([][]byte, (size+chunkMask)>>chunkShift),
 		pageSize: pageSize,
 		home:     make([]int16, npages),
 		brk:      pageSize, // keep address 0 unmapped to catch null derefs
@@ -43,7 +60,7 @@ func NewMemory(size, pageSize uint64) *Memory {
 }
 
 // Size returns the memory size in bytes.
-func (m *Memory) Size() uint64 { return uint64(len(m.data)) }
+func (m *Memory) Size() uint64 { return m.size }
 
 // Alloc reserves size bytes aligned to align (power of two, at least 8) and
 // returns the base address.
@@ -55,7 +72,7 @@ func (m *Memory) Alloc(name string, size, align uint64) (uint64, error) {
 		return 0, fmt.Errorf("mem: alloc %s alignment %d not a power of two", name, align)
 	}
 	base := (m.brk + align - 1) &^ (align - 1)
-	if base+size > uint64(len(m.data)) {
+	if base+size > m.size {
 		return 0, fmt.Errorf("mem: out of memory allocating %s (%d bytes at %#x)", name, size, base)
 	}
 	m.brk = base + size
@@ -91,33 +108,79 @@ func (m *Memory) SegmentFor(addr uint64) (Segment, bool) {
 }
 
 func (m *Memory) check(addr uint64, n uint64) {
-	if addr < m.pageSize || addr+n > uint64(len(m.data)) {
-		panic(fmt.Sprintf("mem: access [%#x,%#x) outside memory (size %#x)", addr, addr+n, len(m.data)))
+	if addr < m.pageSize || addr+n > m.size {
+		panic(fmt.Sprintf("mem: access [%#x,%#x) outside memory (size %#x)", addr, addr+n, m.size))
+	}
+}
+
+// chunkFor materializes and returns the chunk containing addr.
+func (m *Memory) chunkFor(addr uint64) []byte {
+	ci := addr >> chunkShift
+	c := m.chunks[ci]
+	if c == nil {
+		c = make([]byte, chunkBytes)
+		m.chunks[ci] = c
+	}
+	return c
+}
+
+// readU64 reads 8 little-endian bytes at addr. Aligned accesses (everything
+// the compiler emits) never straddle a chunk; the unaligned straddling case
+// falls back to a byte loop.
+func (m *Memory) readU64(addr uint64) uint64 {
+	m.check(addr, 8)
+	off := addr & chunkMask
+	if off+8 <= chunkBytes {
+		c := m.chunks[addr>>chunkShift]
+		if c == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(c[off:])
+	}
+	var b [8]byte
+	for i := range b {
+		a := addr + uint64(i)
+		if c := m.chunks[a>>chunkShift]; c != nil {
+			b[i] = c[a&chunkMask]
+		}
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// writeU64 writes 8 little-endian bytes at addr, materializing chunks.
+func (m *Memory) writeU64(addr uint64, v uint64) {
+	m.check(addr, 8)
+	off := addr & chunkMask
+	if off+8 <= chunkBytes {
+		binary.LittleEndian.PutUint64(m.chunkFor(addr)[off:], v)
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	for i := range b {
+		a := addr + uint64(i)
+		m.chunkFor(a)[a&chunkMask] = b[i]
 	}
 }
 
 // ReadI64 reads a little-endian int64.
 func (m *Memory) ReadI64(addr uint64) int64 {
-	m.check(addr, 8)
-	return int64(binary.LittleEndian.Uint64(m.data[addr:]))
+	return int64(m.readU64(addr))
 }
 
 // WriteI64 writes a little-endian int64.
 func (m *Memory) WriteI64(addr uint64, v int64) {
-	m.check(addr, 8)
-	binary.LittleEndian.PutUint64(m.data[addr:], uint64(v))
+	m.writeU64(addr, uint64(v))
 }
 
 // ReadF64 reads a float64.
 func (m *Memory) ReadF64(addr uint64) float64 {
-	m.check(addr, 8)
-	return math.Float64frombits(binary.LittleEndian.Uint64(m.data[addr:]))
+	return math.Float64frombits(m.readU64(addr))
 }
 
 // WriteF64 writes a float64.
 func (m *Memory) WriteF64(addr uint64, v float64) {
-	m.check(addr, 8)
-	binary.LittleEndian.PutUint64(m.data[addr:], math.Float64bits(v))
+	m.writeU64(addr, math.Float64bits(v))
 }
 
 // HomeNode returns the NUMA home node of addr, assigning it by first touch
