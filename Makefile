@@ -7,9 +7,9 @@
 GO ?= go
 BENCH_LABEL ?= $(shell date -u +%Y-%m-%d)
 
-.PHONY: ci vet build race test bench bench-smoke results
+.PHONY: ci vet build race test bench bench-smoke trace-smoke results
 
-ci: vet build race test bench-smoke
+ci: vet build race test bench-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,9 +32,18 @@ bench:
 # One cheap iteration of the core throughput benchmark: a compile+run
 # smoke for the simulator hot path, not a measurement.
 bench-smoke:
-	$(GO) test -bench BenchmarkSimulatorThroughput -benchtime 1x -benchmem -run '^$$' .
+	$(GO) test -bench 'BenchmarkSimulatorThroughput$$' -benchtime 1x -benchmem -run '^$$' .
+
+# Export a cycle-domain Chrome trace of the phase-change run and
+# structurally validate it — the observability layer's end-to-end gate.
+trace-smoke:
+	$(GO) run ./cmd/cobra-run -workload phased -strategy adaptive \
+		-trace results/trace-smoke.json > /dev/null
+	$(GO) run ./cmd/tracecheck results/trace-smoke.json
+	rm -f results/trace-smoke.json
 
 # Regenerate the committed experiment outputs through the scheduler.
 results:
 	$(GO) run ./cmd/cobra-npb -table 1 -progress=false > results/table1.txt
 	$(GO) run ./cmd/cobra-npb -figure all -progress=false > results/figures567.txt
+	REGEN_GOLDEN=1 $(GO) test -run TestGoldenPhasedTrace .

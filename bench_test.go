@@ -22,6 +22,7 @@ import (
 	"repro/internal/cobra"
 	"repro/internal/experiment"
 	"repro/internal/npb"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -276,4 +277,35 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(instr), "sim_instrs/op")
+}
+
+// BenchmarkSimulatorThroughputTraced is the same streaming kernel with
+// every observability surface enabled (cycle-domain tracer, metrics
+// registry, decision log). The delta against BenchmarkSimulatorThroughput
+// is the total cost of observing a run: region spans, machine counter
+// events, and registry updates — the per-instruction path itself never
+// consults the observer.
+func BenchmarkSimulatorThroughputTraced(b *testing.B) {
+	w := workload.Daxpy(workload.DaxpyParams{WorkingSetBytes: 512 << 10, OuterReps: 4})
+	b.ResetTimer()
+	var instr, events int64
+	for i := 0; i < b.N; i++ {
+		bc := workload.SMPConfig(4)
+		o := obs.New(obs.Config{Trace: true, Metrics: true, Decisions: true})
+		bc.Obs = o
+		inst, err := workload.Build(w, bc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			b.Fatal(err)
+		}
+		instr = 0
+		for c := 0; c < 4; c++ {
+			instr += inst.Ctx.M.CPU(c).InstRetired
+		}
+		events = int64(o.Trace().Len())
+	}
+	b.ReportMetric(float64(instr), "sim_instrs/op")
+	b.ReportMetric(float64(events), "trace_events/op")
 }

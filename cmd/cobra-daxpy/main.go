@@ -33,6 +33,7 @@ func main() {
 		incremental = flag.Bool("incremental", false, "skip cells already recorded in the run ledger")
 		ledgerDir   = flag.String("ledger-dir", "results/ledger", "run ledger directory (with -incremental)")
 		progress    = flag.Bool("progress", true, "print per-cell progress lines to stderr")
+		artifacts   = flag.String("artifacts", "", "write per-cell observability artifacts (trace/metrics/decisions) to DIR")
 	)
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 		if *quick {
 			scale = experiment.QuickDaxpyScale()
 		}
-		opt := experiment.Options{Jobs: *jobs}
+		opt := experiment.Options{Jobs: *jobs, ArtifactDir: *artifacts}
 		if *incremental {
 			led, err := sched.OpenLedger(*ledgerDir)
 			if err != nil {

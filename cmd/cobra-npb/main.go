@@ -37,10 +37,11 @@ func main() {
 		incremental = flag.Bool("incremental", false, "skip cells already recorded in the run ledger")
 		ledgerDir   = flag.String("ledger-dir", "results/ledger", "run ledger directory (with -incremental)")
 		progress    = flag.Bool("progress", true, "print per-cell progress lines to stderr")
+		artifacts   = flag.String("artifacts", "", "write per-cell observability artifacts (trace/metrics/decisions) to DIR")
 	)
 	flag.Parse()
 
-	opt, err := schedOptions(*jobs, *incremental, *ledgerDir, *progress)
+	opt, err := schedOptions(*jobs, *incremental, *ledgerDir, *progress, *artifacts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -113,8 +114,8 @@ func main() {
 // this invocation: one worker pool size, one optional ledger, one build
 // cache (so the SMP and NUMA sweeps of -figure all reuse compiles where
 // configurations coincide).
-func schedOptions(jobs int, incremental bool, ledgerDir string, progress bool) (experiment.Options, error) {
-	opt := experiment.Options{Jobs: jobs, Cache: workload.NewBuildCache()}
+func schedOptions(jobs int, incremental bool, ledgerDir string, progress bool, artifactDir string) (experiment.Options, error) {
+	opt := experiment.Options{Jobs: jobs, Cache: workload.NewBuildCache(), ArtifactDir: artifactDir}
 	if incremental {
 		led, err := sched.OpenLedger(ledgerDir)
 		if err != nil {

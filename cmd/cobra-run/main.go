@@ -8,6 +8,12 @@
 // ledger when the exact configuration (workload, parameters, machine,
 // threads, strategy) was measured before, and -jobs is accepted for
 // interface uniformity (a single run occupies one worker).
+//
+// Observability: -trace FILE writes a cycle-domain Chrome trace_event
+// JSON (open in Perfetto / chrome://tracing), -metrics FILE dumps the
+// metrics registry, and -explain prints the patch-decision audit report.
+// All three record simulated cycles, never wall time, so repeated runs of
+// one configuration produce byte-identical artifacts.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"repro/internal/cobra"
 	"repro/internal/npb"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -26,7 +33,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cobra-run: ")
 	var (
-		name     = flag.String("workload", "daxpy", "daxpy, bt, sp, lu, ft, mg, cg, ep, is")
+		name     = flag.String("workload", "daxpy", "daxpy, phased, bt, sp, lu, ft, mg, cg, ep, is")
 		threads  = flag.Int("threads", 4, "worker threads (= CPUs)")
 		machine  = flag.String("machine", "smp", "smp (front-side bus) or numa (Altix-like)")
 		strategy = flag.String("strategy", "off", "off, monitor, noprefetch, excl, adaptive, bias")
@@ -34,6 +41,11 @@ func main() {
 		ws       = flag.Int64("daxpy-ws", 128<<10, "DAXPY working set bytes")
 		reps     = flag.Int("daxpy-reps", 100, "DAXPY outer repetitions")
 		patches  = flag.Bool("show-patches", false, "list the binary patches COBRA deployed")
+
+		traceFile    = flag.String("trace", "", "write a cycle-domain Chrome trace_event JSON to FILE (Perfetto-loadable)")
+		traceSamples = flag.Bool("trace-samples", false, "with -trace: one instant event per perfmon sample (dense)")
+		metricsFile  = flag.String("metrics", "", "write the metrics registry dump (counters/gauges/histograms per window) to FILE")
+		explain      = flag.Bool("explain", false, "print the patch-decision audit report (evidence for every deploy/keep/rollback)")
 
 		jobs        = flag.Int("jobs", 0, "scheduler worker-pool size (0 = GOMAXPROCS)")
 		incremental = flag.Bool("incremental", false, "reuse a recorded measurement from the run ledger")
@@ -50,6 +62,10 @@ func main() {
 		p := workload.DaxpyParams{WorkingSetBytes: *ws, OuterReps: *reps}
 		params = p
 		build = func() (*workload.Workload, error) { return workload.Daxpy(p), nil }
+	} else if *name == "phased" {
+		p := workload.PhasedDaxpyParams{}
+		params = p
+		build = func() (*workload.Workload, error) { return workload.PhasedDaxpy(p), nil }
 	} else {
 		class := npb.ClassT
 		if *classS {
@@ -89,6 +105,20 @@ func main() {
 		bc.Cobra = &c
 	default:
 		log.Fatalf("unknown strategy %q", *strategy)
+	}
+
+	// Observability: the observer is attached via BuildConfig.Obs, which is
+	// excluded from the content hash (json:"-"), so tracing a configuration
+	// neither invalidates nor forks its ledger entry.
+	var observer *obs.Observer
+	if *traceFile != "" || *metricsFile != "" || *explain {
+		observer = obs.New(obs.Config{
+			Trace:        *traceFile != "",
+			SampleEvents: *traceSamples,
+			Metrics:      *metricsFile != "",
+			Decisions:    *explain,
+		})
+		bc.Obs = observer
 	}
 
 	opt := sched.Options{Workers: *jobs}
@@ -151,6 +181,32 @@ func main() {
 					fmt.Printf("  patch: region [%d,%d] in %s: %d prefetches -> %s (trace entry %d)\n",
 						p.Region.Start, p.Region.End, p.Region.FuncName,
 						p.RewrittenPrefetches, p.Rewrite, p.TraceEntry)
+				}
+			}
+		}
+	}
+
+	if observer != nil {
+		if results[0].Cached {
+			fmt.Println("observability artifacts unavailable for a ledger-cached run (rerun without -incremental)")
+		} else {
+			if *traceFile != "" {
+				if err := observer.Trace().WriteFile(*traceFile); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("trace      %s (%d events, %d dropped; open in Perfetto)\n",
+					*traceFile, observer.Trace().Len(), observer.Trace().Dropped())
+			}
+			if *metricsFile != "" {
+				if err := observer.Metrics().WriteFile(*metricsFile); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("metrics    %s\n", *metricsFile)
+			}
+			if *explain {
+				fmt.Println()
+				if err := observer.Decisions().Explain(os.Stdout); err != nil {
+					log.Fatal(err)
 				}
 			}
 		}

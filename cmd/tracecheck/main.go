@@ -1,0 +1,157 @@
+// Command tracecheck validates a Chrome trace_event JSON file produced by
+// the internal/obs tracer (cobra-run -trace, or sweep -artifacts dirs).
+// It is the CI gate behind `make trace-smoke`: a cheap structural check
+// that the exported artifact is loadable by Perfetto / chrome://tracing
+// and respects the tracer's own conventions (cycle-domain clock, known
+// phase codes, non-negative timestamps, metadata-before-data ordering).
+//
+// Exit status is 0 when every check passes, 1 on any violation (all
+// violations are listed, not just the first), 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+// traceDoc mirrors the JSON object written by obs.Tracer.WriteJSON.
+type traceDoc struct {
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	TS   *int64          `json:"ts"`
+	Dur  *int64          `json:"dur"`
+	PID  *int            `json:"pid"`
+	TID  *int            `json:"tid"`
+	S    string          `json:"s"`
+	Args json.RawMessage `json:"args"`
+}
+
+// knownPhases are the trace_event phase codes the obs tracer emits.
+var knownPhases = map[string]bool{
+	"X": true, // complete span
+	"i": true, // instant
+	"C": true, // counter series
+	"M": true, // metadata (thread_name)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	var (
+		quiet = flag.Bool("q", false, "suppress the per-file summary line")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-q] trace.json [trace.json ...]")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, path := range flag.Args() {
+		problems, summary := check(path)
+		for _, p := range problems {
+			fmt.Printf("%s: %s\n", path, p)
+		}
+		if len(problems) > 0 {
+			failed = true
+		} else if !*quiet {
+			fmt.Printf("%s: ok (%s)\n", path, summary)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// check validates one trace file and returns the list of violations plus a
+// one-line summary of what the file contains.
+func check(path string) (problems []string, summary string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return []string{err.Error()}, ""
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return []string{"not valid JSON: " + err.Error()}, ""
+	}
+
+	bad := func(format string, a ...any) {
+		problems = append(problems, fmt.Sprintf(format, a...))
+	}
+
+	if doc.DisplayTimeUnit == "" {
+		bad("missing displayTimeUnit")
+	}
+	if cd, ok := doc.OtherData["clockDomain"]; !ok {
+		bad("otherData.clockDomain missing (trace must declare its cycle-domain clock)")
+	} else if cd != "simulated-cycles" {
+		bad("otherData.clockDomain = %v, want \"simulated-cycles\"", cd)
+	}
+
+	var counts [len("XiCM")]int
+	phaseIdx := map[string]int{"X": 0, "i": 1, "C": 2, "M": 3}
+	sawData := false
+	for i, ev := range doc.TraceEvents {
+		where := fmt.Sprintf("event %d (%q)", i, ev.Name)
+		if ev.Name == "" {
+			bad("event %d: empty name", i)
+		}
+		if !knownPhases[ev.Ph] {
+			bad("%s: unknown phase %q", where, ev.Ph)
+			continue
+		}
+		counts[phaseIdx[ev.Ph]]++
+		if ev.PID == nil {
+			bad("%s: missing pid", where)
+		}
+		if ev.TID == nil {
+			bad("%s: missing tid", where)
+		}
+		switch ev.Ph {
+		case "M":
+			// Metadata must precede all data events so viewers name the
+			// tracks before populating them.
+			if sawData {
+				bad("%s: metadata event after data events", where)
+			}
+		case "X":
+			sawData = true
+			if ev.TS == nil || *ev.TS < 0 {
+				bad("%s: span needs ts >= 0", where)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				bad("%s: span needs dur >= 0", where)
+			}
+		case "i":
+			sawData = true
+			if ev.TS == nil || *ev.TS < 0 {
+				bad("%s: instant needs ts >= 0", where)
+			}
+			if ev.S != "t" {
+				bad("%s: instant scope %q, want \"t\" (thread)", where, ev.S)
+			}
+		case "C":
+			sawData = true
+			if ev.TS == nil || *ev.TS < 0 {
+				bad("%s: counter needs ts >= 0", where)
+			}
+			if len(ev.Args) == 0 {
+				bad("%s: counter without args series", where)
+			}
+		}
+	}
+
+	summary = fmt.Sprintf("%d events: %d spans, %d instants, %d counters, %d metadata",
+		len(doc.TraceEvents), counts[0], counts[1], counts[2], counts[3])
+	return problems, summary
+}

@@ -6,7 +6,9 @@
 // continuous re-adaptation controller rolls the patch back.
 //
 // This is "Continuous Binary Re-Adaptation" in one run: patch, observe,
-// revert.
+// revert. The workload itself lives in internal/workload (PhasedDaxpy)
+// so tests and cobra-run can run the same program; run with
+// `cobra-run -workload phased -trace -explain` to watch the lifecycle.
 package main
 
 import (
@@ -14,70 +16,15 @@ import (
 	"log"
 
 	"repro/internal/core"
-	"repro/internal/ia64"
-	ir "repro/internal/loopir"
-	"repro/internal/workload"
 )
 
-func phasedWorkload() *core.Workload {
-	const elems = 1 << 19 // 4 MB x + 4 MB y
-	prog := &ir.Program{
-		Name: "phased",
-		Arrays: []ir.Array{
-			{Name: "x", Kind: ir.F64, Elems: elems},
-			{Name: "y", Kind: ir.F64, Elems: elems},
-		},
-		Funcs: []*ir.Func{{
-			Name:        "axpy",
-			Parallel:    true,
-			FloatParams: []string{"a"},
-			Body: []ir.Stmt{
-				ir.For{Var: "i", Lo: ir.V("lo"), Hi: ir.V("hi"), Body: []ir.Stmt{
-					ir.FStore{Array: "y", Index: ir.V("i"),
-						Val: ir.FAdd(ir.At("y", ir.V("i")),
-							ir.FMul(ir.FV("a"), ir.At("x", ir.V("i"))))},
-				}},
-			},
-		}},
-	}
-	return &core.Workload{
-		Name: "phased-daxpy",
-		Prog: prog,
-		Setup: func(c *workload.Ctx) error {
-			for i := int64(0); i < elems; i++ {
-				c.WriteF64("x", i, 1)
-				c.WriteF64("y", i, 2)
-			}
-			return nil
-		},
-		Run: func(c *workload.Ctx) error {
-			bind := func(tid int, rf *ia64.RegFile) {
-				rf.SetFR(c.FloatArg("axpy", "a"), 0.5)
-			}
-			// Phase 1: 8K-element window (128 KB working set), repeated.
-			fmt.Println("phase 1: cache-resident window (coherent misses dominate)")
-			for rep := 0; rep < 150; rep++ {
-				if err := c.ParallelFor("axpy", 8192, bind); err != nil {
-					return err
-				}
-			}
-			// Phase 2: stream the whole 8 MB working set.
-			fmt.Println("phase 2: streaming the full array (prefetching essential)")
-			for rep := 0; rep < 10; rep++ {
-				if err := c.ParallelFor("axpy", elems, bind); err != nil {
-					return err
-				}
-			}
-			return nil
-		},
-	}
-}
-
 func main() {
+	fmt.Println("phase 1: cache-resident window (coherent misses dominate)")
+	fmt.Println("phase 2: streaming the full array (prefetching essential)")
 	bc := core.SMPConfig(4)
 	cfg := core.DefaultCobraConfig(core.StrategyAdaptive)
 	bc.Cobra = &cfg
-	inst, err := core.Build(phasedWorkload(), bc)
+	inst, err := core.Build(core.PhasedDaxpy(core.PhasedDaxpyParams{}), bc)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,7 +19,10 @@
 //     re-adapting as program phases change.
 package cobra
 
-import "repro/internal/perfmon"
+import (
+	"repro/internal/obs"
+	"repro/internal/perfmon"
+)
 
 // Strategy selects the optimization the runtime applies when it detects
 // coherent-miss pressure.
@@ -110,6 +113,11 @@ type Config struct {
 	// EvaluateWindows (adaptive): optimizer passes to wait before judging
 	// a patch.
 	EvaluateWindows int
+
+	// Obs, when non-nil, receives the runtime's trace events, metrics and
+	// patch decisions. Excluded from JSON so scheduler content hashes of a
+	// configuration are identical with and without observability attached.
+	Obs *obs.Observer `json:"-"`
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation.

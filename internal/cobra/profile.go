@@ -93,8 +93,10 @@ func (w Window) CoherentShare() float64 {
 	return float64(w.BusHitm) / float64(w.L2Misses)
 }
 
-// MissRate returns combined coherence+capacity pressure per kilocycle —
-// the metric the adaptive controller compares before/after a patch.
+// MissRate returns combined coherence+capacity pressure per kilocycle.
+// It is a diagnostic metric only: the re-adaptation controller judges
+// patches on IPC (see Window.IPC), which cannot be gamed by running
+// slower.
 func (w Window) MissRate() float64 {
 	if w.Cycles == 0 {
 		return 0

@@ -3,9 +3,11 @@ package cobra
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/perfmon"
 )
 
@@ -20,6 +22,51 @@ type Stats struct {
 	PrefetchesExcl    int64
 	LoadsBiased       int64
 	TracesEmitted     int64
+}
+
+// statCounters backs the Stats counters with the metrics registry, so a
+// run with metrics enabled exports them under "cobra.*" alongside the
+// window gauges while Stats() keeps its value-snapshot contract. With
+// observability disabled the counters live in a private registry; either
+// way the individual *obs.Counter handles are nil-safe.
+type statCounters struct {
+	samplesSeen       *obs.Counter
+	optimizerPasses   *obs.Counter
+	triggers          *obs.Counter
+	patchesApplied    *obs.Counter
+	patchesRolledBack *obs.Counter
+	prefetchesNopped  *obs.Counter
+	prefetchesExcl    *obs.Counter
+	loadsBiased       *obs.Counter
+	tracesEmitted     *obs.Counter
+}
+
+func newStatCounters(reg *obs.Registry) statCounters {
+	return statCounters{
+		samplesSeen:       reg.Counter("cobra.samples_seen"),
+		optimizerPasses:   reg.Counter("cobra.optimizer_passes"),
+		triggers:          reg.Counter("cobra.triggers"),
+		patchesApplied:    reg.Counter("cobra.patches_applied"),
+		patchesRolledBack: reg.Counter("cobra.patches_rolled_back"),
+		prefetchesNopped:  reg.Counter("cobra.prefetches_nopped"),
+		prefetchesExcl:    reg.Counter("cobra.prefetches_excl"),
+		loadsBiased:       reg.Counter("cobra.loads_biased"),
+		tracesEmitted:     reg.Counter("cobra.traces_emitted"),
+	}
+}
+
+func (c statCounters) snapshot() Stats {
+	return Stats{
+		SamplesSeen:       c.samplesSeen.Value(),
+		OptimizerPasses:   c.optimizerPasses.Value(),
+		Triggers:          c.triggers.Value(),
+		PatchesApplied:    c.patchesApplied.Value(),
+		PatchesRolledBack: c.patchesRolledBack.Value(),
+		PrefetchesNopped:  c.prefetchesNopped.Value(),
+		PrefetchesExcl:    c.prefetchesExcl.Value(),
+		LoadsBiased:       c.loadsBiased.Value(),
+		TracesEmitted:     c.tracesEmitted.Value(),
+	}
 }
 
 // regionState tracks one optimized (or previously optimized) loop for the
@@ -50,6 +97,9 @@ type regionState struct {
 	triedExcl bool
 	blocked   bool // regressed under a fixed strategy: never re-patch
 	cooldown  int
+	// deployedAt is the cycle the current patch was deployed — the start
+	// of the patch-active span in the trace.
+	deployedAt int64
 }
 
 // Runtime is one COBRA instance attached to a running machine: the
@@ -68,7 +118,15 @@ type Runtime struct {
 	regions   map[LoopKey]*regionState
 	horizon   []Window
 	globalEMA float64 // smoothed whole-program IPC
-	stats     Stats
+	stats     statCounters
+
+	// obs is the observability sink (nil-safe: a zero Runtime records
+	// nothing). windows is the ordinal of the next profiling window and
+	// lastPass the cycle of the previous optimizer pass — together they
+	// anchor window spans and metric snapshots in the cycle domain.
+	obs      *obs.Observer
+	windows  int
+	lastPass int64
 }
 
 // emaAlpha is the smoothing factor of the pre-patch IPC baselines.
@@ -85,6 +143,16 @@ func New(m *machine.Machine, cfg Config) *Runtime {
 	if cfg.OptimizeInterval <= 0 {
 		cfg.OptimizeInterval = DefaultConfig(cfg.Strategy).OptimizeInterval
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = m.Observer()
+	}
+	// The Stats counters always live in a registry: the observer's when
+	// metrics are enabled (so they export with everything else), a private
+	// one otherwise.
+	reg := cfg.Obs.Metrics()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	r := &Runtime{
 		cfg:      cfg,
 		m:        m,
@@ -94,7 +162,10 @@ func New(m *machine.Machine, cfg Config) *Runtime {
 		analyzer: NewAnalyzer(m.Image(), m.Memory()),
 		patcher:  NewPatcher(m.Image(), cfg.UseTraceCache),
 		regions:  map[LoopKey]*regionState{},
+		stats:    newStatCounters(reg),
+		obs:      cfg.Obs,
 	}
+	r.driver.SetObserver(cfg.Obs)
 	m.AddTimer(&machine.Timer{
 		NextAt: cfg.OptimizeInterval,
 		Fn: func(now int64) int64 {
@@ -109,7 +180,20 @@ func New(m *machine.Machine, cfg Config) *Runtime {
 func (r *Runtime) Driver() *perfmon.Driver { return r.driver }
 
 // Stats returns a snapshot of the runtime's activity counters.
-func (r *Runtime) Stats() Stats { return r.stats }
+func (r *Runtime) Stats() Stats { return r.stats.snapshot() }
+
+// Observer returns the observability sink (nil when disabled).
+func (r *Runtime) Observer() *obs.Observer { return r.obs }
+
+// Explain writes the patch-decision audit report. Without an observer
+// with decisions enabled it reports that nothing was recorded.
+func (r *Runtime) Explain() string {
+	var b strings.Builder
+	if err := r.obs.Decisions().Explain(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
 
 // ActivePatches returns the currently deployed patches.
 func (r *Runtime) ActivePatches() []*Patch {
@@ -140,15 +224,22 @@ func (r *Runtime) MonitorThread(tid, cpu int) {
 // aggregate the system-wide profile, evaluate outstanding patches, and
 // deploy new optimizations when coherent pressure warrants.
 func (r *Runtime) optimizePass(now int64) {
-	r.stats.OptimizerPasses++
+	r.stats.optimizerPasses.Inc()
+	tr := r.obs.Trace()
 
 	for _, u := range r.usbs {
 		if u == nil {
 			continue
 		}
-		for _, s := range u.Drain() {
+		drained := u.Drain()
+		for _, s := range drained {
 			r.prof.Add(s)
-			r.stats.SamplesSeen++
+		}
+		r.stats.samplesSeen.Add(int64(len(drained)))
+		if tr != nil && len(drained) > 0 {
+			tr.Instant("monitor", "usb drain", obs.TIDOptimizer, now, map[string]any{
+				"cpu": u.CPU, "samples": len(drained),
+			})
 		}
 	}
 	win := r.prof.Window()
@@ -200,30 +291,71 @@ func (r *Runtime) optimizePass(now int64) {
 	// the patched loop actually ran count towards the judgement. Fixed
 	// strategies blacklist a rolled-back region; adaptive mode escalates
 	// to the other rewrite.
-	r.evaluatePatches(win)
+	r.evaluatePatches(win, now)
 	for _, st := range r.regions {
 		if st.cooldown > 0 {
 			st.cooldown--
 		}
 	}
 
-	if len(r.horizon) == triggerHorizon &&
-		agg.Samples > 0 &&
+	evaluated := len(r.horizon) == triggerHorizon && agg.Samples > 0
+	fired := evaluated &&
 		agg.BusHitm >= r.cfg.MinCoherentEvents &&
-		agg.CoherentShare() >= r.cfg.CoherentShareThreshold {
-		r.stats.Triggers++
+		agg.CoherentShare() >= r.cfg.CoherentShareThreshold
+	if tr != nil && evaluated {
+		tr.Instant("trigger", "trigger eval", obs.TIDOptimizer, now, map[string]any{
+			"coherent_share": agg.CoherentShare(), "bus_hitm": agg.BusHitm,
+			"fired": fired,
+		})
+	}
+	if fired {
+		r.stats.triggers.Inc()
 		if r.cfg.Strategy != StrategyOff {
-			r.deployOptimizations(agg)
+			r.deployOptimizations(agg, now)
 		}
 	}
+
+	if tr != nil {
+		tr.Span("window", fmt.Sprintf("window %d", r.windows), obs.TIDOptimizer,
+			r.lastPass, now, map[string]any{
+				"samples": win.Samples, "ipc": win.IPC(),
+				"coherent_share": win.CoherentShare(),
+				"l2_misses":      win.L2Misses, "bus_hitm": win.BusHitm,
+			})
+	}
+	if reg := r.obs.Metrics(); reg != nil {
+		reg.Gauge("cobra.window_ipc").Set(win.IPC())
+		reg.Gauge("cobra.window_coherent_share").Set(win.CoherentShare())
+		reg.Gauge("cobra.global_ipc_ema").Set(r.globalEMA)
+		reg.Histogram("cobra.window_samples").Observe(float64(win.Samples))
+		reg.Histogram("cobra.pass_cycles").Observe(float64(now - r.lastPass))
+		reg.Snapshot(r.windows, now)
+	}
+	r.windows++
+	r.lastPass = now
 	r.prof.ResetWindow()
 }
 
-func (r *Runtime) evaluatePatches(win Window) {
-	for _, st := range r.regions {
+func (r *Runtime) evaluatePatches(win Window, now int64) {
+	// Iterate regions in address order: map order would scramble the trace
+	// and decision log across otherwise-identical runs (judgements are
+	// per-region independent, so ordering cannot change outcomes).
+	var keys []LoopKey
+	for k, st := range r.regions {
 		if st.patch == nil || len(st.patch.Slots) == 0 {
 			continue
 		}
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Head < keys[j].Head })
+	tr := r.obs.Trace()
+	dl := r.obs.Decisions()
+
+	for _, k := range keys {
+		st := r.regions[k]
 		st.globalAgg.Cycles += win.Cycles
 		st.globalAgg.Instr += win.Instr
 		if r.prof.LoopActivity(st.patch.ActiveKey) >= r.cfg.MinLoopSamples {
@@ -239,6 +371,18 @@ func (r *Runtime) evaluatePatches(win Window) {
 		}
 		regressed := st.activeAgg.IPC() < st.baseline*(1-r.cfg.RollbackTolerance) ||
 			st.globalAgg.IPC() < st.globalBase*(1-r.cfg.RollbackTolerance)
+		var ev obs.Evidence
+		if tr != nil || dl != nil {
+			ev = obs.Evidence{
+				BaselineIPC:       st.baseline,
+				PatchedIPC:        st.activeAgg.IPC(),
+				GlobalBaselineIPC: st.globalBase,
+				GlobalIPC:         st.globalAgg.IPC(),
+				Tolerance:         r.cfg.RollbackTolerance,
+				ActiveWindows:     st.activeWindows,
+				Rewrite:           st.rewrite.String(),
+			}
+		}
 		st.judged = true
 		st.activeWindows = 0 // keep judging periodically
 		st.activeAgg = Window{}
@@ -247,19 +391,49 @@ func (r *Runtime) evaluatePatches(win Window) {
 			// Regression: roll the patch back and remember what failed so
 			// re-adaptation can escalate to the other rewrite.
 			if err := r.patcher.Rollback(st.patch); err == nil {
-				r.stats.PatchesRolledBack++
+				r.stats.patchesRolledBack.Inc()
 			}
 			st.patch = nil
 			st.cooldown = r.cfg.EvaluateWindows
+			ev.CooldownUntil = now + int64(st.cooldown)*r.cfg.OptimizeInterval
+			if tr != nil {
+				tr.Span("patch", fmt.Sprintf("active %s @%#x", ev.Rewrite, k.Head),
+					obs.TIDPatch, st.deployedAt, now, map[string]any{"region": k.Head})
+				tr.Instant("patch", fmt.Sprintf("rolled back @%#x", k.Head),
+					obs.TIDPatch, now, map[string]any{
+						"region": k.Head, "baseline_ipc": ev.BaselineIPC,
+						"patched_ipc": ev.PatchedIPC,
+					})
+			}
+			dl.Record(now, uint64(k.Head), r.windows, obs.StateRolledBack, "regressed", ev)
 			if r.cfg.Strategy != StrategyAdaptive {
 				st.blocked = true // fixed strategy: leave the loop alone
+				dl.Record(now, uint64(k.Head), r.windows, obs.StateBlocked, "fixed_strategy", ev)
+				if tr != nil {
+					tr.Instant("patch", fmt.Sprintf("blocked @%#x", k.Head),
+						obs.TIDPatch, now, map[string]any{"region": k.Head})
+				}
 			}
+		} else {
+			reason := "within_tolerance"
+			if ev.PatchedIPC >= ev.BaselineIPC {
+				reason = "improved"
+			}
+			if tr != nil {
+				tr.Instant("patch", fmt.Sprintf("kept @%#x", k.Head),
+					obs.TIDPatch, now, map[string]any{
+						"region": k.Head, "baseline_ipc": ev.BaselineIPC,
+						"patched_ipc": ev.PatchedIPC,
+					})
+			}
+			dl.Record(now, uint64(k.Head), r.windows, obs.StateKept, reason, ev)
 		}
 	}
 }
 
-// deployOptimizations implements §4's selection pipeline.
-func (r *Runtime) deployOptimizations(win Window) {
+// deployOptimizations implements §4's selection pipeline. win is the
+// trigger-horizon aggregate; now anchors trace events and decisions.
+func (r *Runtime) deployOptimizations(win Window, now int64) {
 	loops := r.prof.HotLoops(r.cfg.MinLoopSamples)
 	if len(loops) == 0 {
 		return
@@ -302,6 +476,8 @@ func (r *Runtime) deployOptimizations(win Window) {
 	}
 	const maxDeploysPerPass = 2
 	deployed := 0
+	tr := r.obs.Trace()
+	dl := r.obs.Decisions()
 
 	var keys []LoopKey
 	for k := range regionLoads {
@@ -332,7 +508,43 @@ func (r *Runtime) deployOptimizations(win Window) {
 		}
 		rw, ok := r.chooseRewrite(st)
 		if !ok {
+			// A previously rolled-back region with no rewrite left to try
+			// ends the lifecycle; record the terminal state once.
+			if dl != nil && dl.State(uint64(k.Head)) == obs.StateRolledBack {
+				reason := "rewrites_exhausted"
+				if r.cfg.Strategy != StrategyAdaptive {
+					reason = "fixed_strategy"
+				}
+				dl.Record(now, uint64(k.Head), r.windows, obs.StateBlocked, reason, obs.Evidence{
+					CoherentShare: win.CoherentShare(), BusHitm: uint64(win.BusHitm),
+				})
+				if tr != nil {
+					tr.Instant("patch", fmt.Sprintf("blocked @%#x", k.Head),
+						obs.TIDPatch, now, map[string]any{"region": k.Head, "reason": reason})
+				}
+			}
 			continue
+		}
+		// Trigger evidence selected this region: it becomes a lifecycle
+		// candidate even if a deploy-time check below still skips it.
+		var ev obs.Evidence
+		if tr != nil || dl != nil {
+			ev = obs.Evidence{
+				CoherentShare: win.CoherentShare(),
+				BusHitm:       uint64(win.BusHitm),
+				Rewrite:       rw.String(),
+			}
+			reason := "trigger"
+			if dl.State(uint64(k.Head)) == obs.StateRolledBack {
+				reason = "escalate"
+			}
+			dl.Record(now, uint64(k.Head), r.windows, obs.StateCandidate, reason, ev)
+			if tr != nil {
+				tr.Instant("patch", fmt.Sprintf("candidate %s @%#x", ev.Rewrite, k.Head),
+					obs.TIDPatch, now, map[string]any{
+						"region": k.Head, "coherent_share": win.CoherentShare(),
+					})
+			}
 		}
 		region := r.analyzer.RegionFor(k)
 		slots := r.selectPrefetches(region, regionLoads[k], rw)
@@ -354,20 +566,35 @@ func (r *Runtime) deployOptimizations(win Window) {
 		st.activeWindows = 0
 		st.activeAgg = Window{}
 		st.globalAgg = Window{}
+		st.deployedAt = now
 		deployed++
-		r.stats.PatchesApplied++
+		r.stats.patchesApplied.Inc()
 		if patch.TraceEntry >= 0 {
-			r.stats.TracesEmitted++
+			r.stats.tracesEmitted.Inc()
 		}
 		switch rw {
 		case RewriteNop:
-			r.stats.PrefetchesNopped += int64(patch.RewrittenPrefetches)
+			r.stats.prefetchesNopped.Add(int64(patch.RewrittenPrefetches))
 			st.triedNop = true
 		case RewriteExcl:
-			r.stats.PrefetchesExcl += int64(patch.RewrittenPrefetches)
+			r.stats.prefetchesExcl.Add(int64(patch.RewrittenPrefetches))
 			st.triedExcl = true
 		case RewriteBias:
-			r.stats.LoadsBiased += int64(patch.RewrittenPrefetches)
+			r.stats.loadsBiased.Add(int64(patch.RewrittenPrefetches))
+		}
+		if tr != nil || dl != nil {
+			ev.BaselineIPC = st.baseline
+			ev.GlobalBaselineIPC = st.globalBase
+			dl.Record(now, uint64(k.Head), r.windows, obs.StateDeployed, "deploy", ev)
+			if tr != nil {
+				tr.Instant("patch", fmt.Sprintf("deployed %s @%#x", ev.Rewrite, k.Head),
+					obs.TIDPatch, now, map[string]any{
+						"region": k.Head, "slots": len(patch.Slots),
+						"rewritten": patch.RewrittenPrefetches,
+						"trace":     patch.TraceEntry >= 0,
+						"baseline_ipc": st.baseline,
+					})
+			}
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hpm"
 	"repro/internal/ia64"
+	"repro/internal/obs"
 	"repro/internal/perfmon"
 )
 
@@ -100,6 +101,7 @@ func TestTriggerHorizonSuppressesClusters(t *testing.T) {
 		usbs:    make([]*USB, 1),
 		prof:    NewProfiler(180),
 		regions: map[LoopKey]*regionState{},
+		stats:   newStatCounters(obs.NewRegistry()),
 	}
 	r.usbs[0] = &USB{CPU: 0}
 
@@ -129,8 +131,8 @@ func TestTriggerHorizonSuppressesClusters(t *testing.T) {
 		}
 		r.optimizePass(int64(i+1) * 50_000)
 	}
-	if r.stats.Triggers != 0 {
-		t.Fatalf("clustered pattern triggered %d times", r.stats.Triggers)
+	if got := r.Stats().Triggers; got != 0 {
+		t.Fatalf("clustered pattern triggered %d times", got)
 	}
 
 	// Sustained coherent pressure: every window coherent-heavy.
@@ -138,17 +140,17 @@ func TestTriggerHorizonSuppressesClusters(t *testing.T) {
 		push(100_000, 120, 90)
 		r.optimizePass(int64(i+100) * 50_000)
 	}
-	if r.stats.Triggers == 0 {
+	if r.Stats().Triggers == 0 {
 		t.Fatal("sustained coherent pressure never triggered")
 	}
 }
 
 func TestStatsSnapshot(t *testing.T) {
-	r := &Runtime{}
-	r.stats.PatchesApplied = 3
+	r := &Runtime{stats: newStatCounters(obs.NewRegistry())}
+	r.stats.patchesApplied.Add(3)
 	s := r.Stats()
 	s.PatchesApplied = 99
-	if r.stats.PatchesApplied != 3 {
+	if r.Stats().PatchesApplied != 3 {
 		t.Fatal("Stats returned a live reference")
 	}
 }

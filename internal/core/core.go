@@ -19,6 +19,7 @@ import (
 	"repro/internal/cobra"
 	"repro/internal/experiment"
 	"repro/internal/npb"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -57,6 +58,20 @@ type Measurement = workload.Measurement
 // DaxpyParams parameterizes the paper's Figure 1 kernel.
 type DaxpyParams = workload.DaxpyParams
 
+// PhasedDaxpyParams parameterizes the phase-change re-adaptation demo.
+type PhasedDaxpyParams = workload.PhasedDaxpyParams
+
+// Observer is the observability sink: cycle-domain tracer, metrics
+// registry, and patch-decision log (see internal/obs).
+type Observer = obs.Observer
+
+// ObsConfig selects which observability surfaces to enable.
+type ObsConfig = obs.Config
+
+// NewObserver builds an observability sink; attach it via
+// BuildConfig.Obs.
+func NewObserver(cfg ObsConfig) *Observer { return obs.New(cfg) }
+
 // Variant selects a static binary rewrite (the Figure 3 methodology).
 type Variant = workload.Variant
 
@@ -77,6 +92,10 @@ func NUMAConfig(threads int) BuildConfig { return workload.NUMAConfig(threads) }
 
 // Daxpy builds the OpenMP DAXPY workload of Figure 1.
 func Daxpy(p DaxpyParams) *Workload { return workload.Daxpy(p) }
+
+// PhasedDaxpy builds the phase-change workload whose patch is deployed
+// in phase 1 and rolled back in phase 2 (the adaptive-daxpy example).
+func PhasedDaxpy(p PhasedDaxpyParams) *Workload { return workload.PhasedDaxpy(p) }
 
 // NPB builds one of the NAS Parallel Benchmarks (bt, sp, lu, ft, mg, cg,
 // ep, is).

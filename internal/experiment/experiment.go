@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cobra"
 	"repro/internal/npb"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -30,10 +31,16 @@ type Options struct {
 	// private to the call; pass a shared one to reuse compiles across
 	// sweeps in one process.
 	Cache *workload.BuildCache
+	// ArtifactDir, when non-empty, attaches a per-cell observer (trace,
+	// metrics, decision log) to every executed measurement job and dumps
+	// its artifacts there, file names keyed by the cell's content hash so
+	// they line up with run-ledger entries. Cached cells write nothing —
+	// their artifacts are from the run that recorded them.
+	ArtifactDir string
 }
 
 func (o Options) schedOptions() sched.Options {
-	return sched.Options{Workers: o.Jobs, Ledger: o.Ledger, Hooks: o.Hooks}
+	return sched.Options{Workers: o.Jobs, Ledger: o.Ledger, Hooks: o.Hooks, ArtifactDir: o.ArtifactDir}
 }
 
 func (o Options) buildCache() *workload.BuildCache {
@@ -161,13 +168,21 @@ func QuickDaxpyScale() DaxpyScale {
 // prefetch normalization anchor and the (1, prefetch) bar are one job —
 // and ledger entries survive exactly as long as the configuration is
 // unchanged.
-func daxpyJob(cache *workload.BuildCache, ws int64, threads, reps int, v workload.Variant) sched.Job[workload.Measurement] {
+func daxpyJob(cache *workload.BuildCache, ws int64, threads, reps int, v workload.Variant, withObs bool) sched.Job[workload.Measurement] {
 	p := workload.DaxpyParams{WorkingSetBytes: ws, OuterReps: reps}
 	bc := workload.SMPConfig(threads)
-	return sched.Job[workload.Measurement]{
+	// The observer is created inside Run (one per executed cell, never
+	// shared across concurrent jobs) and read back by the Artifacts hook,
+	// which the scheduler always calls after Run on the same worker.
+	var o *obs.Observer
+	job := sched.Job[workload.Measurement]{
 		Key:  sched.KeyOf("daxpy-cell", p, int(v), bc),
 		Name: fmt.Sprintf("daxpy/ws=%dK/t=%d/%s", ws>>10, threads, v),
 		Run: func() (workload.Measurement, error) {
+			if withObs {
+				o = obs.New(obs.Config{Trace: true, Metrics: true, Decisions: true})
+				bc.Obs = o
+			}
 			w := workload.Daxpy(p)
 			inst, err := cache.Build(sched.KeyOf("daxpy", p), w, bc)
 			if err != nil {
@@ -179,6 +194,11 @@ func daxpyJob(cache *workload.BuildCache, ws int64, threads, reps int, v workloa
 			return inst.Measure()
 		},
 	}
+	if withObs {
+		key := job.Key
+		job.Artifacts = func(dir string) error { return obs.WriteArtifacts(dir, key, o) }
+	}
+	return job
 }
 
 // Figure3 regenerates Figure 3(a) (prefetch vs noprefetch) or 3(b)
@@ -210,10 +230,10 @@ func Figure3Sched(panel byte, scale DaxpyScale, opt Options) ([]DaxpyCell, error
 	var jobs []sched.Job[workload.Measurement]
 	for _, ws := range scale.WorkingSets {
 		reps := scale.RepsFor(ws)
-		jobs = append(jobs, daxpyJob(cache, ws, 1, reps, workload.VariantPrefetch))
+		jobs = append(jobs, daxpyJob(cache, ws, 1, reps, workload.VariantPrefetch, opt.ArtifactDir != ""))
 		for _, th := range scale.Threads {
 			for _, v := range []workload.Variant{workload.VariantPrefetch, alt} {
-				jobs = append(jobs, daxpyJob(cache, ws, th, reps, v))
+				jobs = append(jobs, daxpyJob(cache, ws, th, reps, v, opt.ArtifactDir != ""))
 			}
 		}
 	}
@@ -328,14 +348,19 @@ func RunNPB(machine MachineKind, class npb.Class, benches []string) (*NPBResult,
 // configuration, so the content hash changes with any of them. The three
 // strategies of one benchmark share a compiled artifact through the build
 // cache: COBRA attaches at run time and never alters the compile.
-func npbJob(cache *workload.BuildCache, machine MachineKind, class npb.Class, name string, s StrategyLabel) sched.Job[workload.Measurement] {
+func npbJob(cache *workload.BuildCache, machine MachineKind, class npb.Class, name string, s StrategyLabel, withObs bool) sched.Job[workload.Measurement] {
 	p := npb.Params{Class: class}
 	bc := machine.config()
 	bc.Cobra = cobraFor(s, machine)
-	return sched.Job[workload.Measurement]{
+	var o *obs.Observer
+	job := sched.Job[workload.Measurement]{
 		Key:  sched.KeyOf("npb-cell", name, p, bc),
 		Name: fmt.Sprintf("%s/%s.%s/%s", machineShort(machine), name, class, s),
 		Run: func() (workload.Measurement, error) {
+			if withObs {
+				o = obs.New(obs.Config{Trace: true, Metrics: true, Decisions: true})
+				bc.Obs = o
+			}
 			w, err := npb.Build(name, p)
 			if err != nil {
 				return workload.Measurement{}, err
@@ -347,6 +372,11 @@ func npbJob(cache *workload.BuildCache, machine MachineKind, class npb.Class, na
 			return inst.Measure()
 		},
 	}
+	if withObs {
+		key := job.Key
+		job.Artifacts = func(dir string) error { return obs.WriteArtifacts(dir, key, o) }
+	}
+	return job
 }
 
 func machineShort(m MachineKind) string {
@@ -367,7 +397,7 @@ func RunNPBSched(machine MachineKind, class npb.Class, benches []string, opt Opt
 	var jobs []sched.Job[workload.Measurement]
 	for _, name := range benches {
 		for _, s := range Strategies {
-			jobs = append(jobs, npbJob(cache, machine, class, name, s))
+			jobs = append(jobs, npbJob(cache, machine, class, name, s, opt.ArtifactDir != ""))
 		}
 	}
 	results := sched.Run(jobs, opt.schedOptions())

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/ia64"
+	"repro/internal/obs"
 )
 
 // The simulator's per-instruction path must not allocate: steady-state
@@ -84,5 +85,42 @@ func TestZeroAllocsPrefetchPath(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("prefetch path allocates %.2f objects per bundle group, want 0", avg)
+	}
+}
+
+// Observability must be free when idle: attaching an Observer whose
+// surfaces are all disabled (the production default — cobra.New installs
+// the machine's observer even when no -trace/-metrics flag was given) must
+// not add a single allocation to the per-instruction path.
+func TestZeroAllocsLoadStorePathWithObserver(t *testing.T) {
+	img := ia64.NewImage()
+	a := ia64.NewAsm(img, "ldst-obs")
+	a.Label("top")
+	a.Emit(ia64.Instr{Op: ia64.OpLd, R1: 11, R2: 8})
+	a.Emit(ia64.Instr{Op: ia64.OpSt, R2: 9, R3: 11})
+	a.Emit(ia64.Instr{Op: ia64.OpAdd, R1: 12, R2: 12, R3: 11})
+	a.Br(ia64.BrAlways, 0, "top")
+	entry, err := a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t, img, 1)
+	m.SetObserver(obs.New(obs.Config{}))
+	src := m.Memory().MustAlloc("src", 4096, 128)
+	dst := m.Memory().MustAlloc("dst", 4096, 128)
+	m.StartThread(0, entry, 1, func(rf *ia64.RegFile) {
+		rf.SetGR(8, int64(src))
+		rf.SetGR(9, int64(dst))
+	})
+	c := m.CPU(0)
+	warmSteps(t, c, 64)
+
+	avg := testing.AllocsPerRun(2000, func() {
+		if _, err := c.stepBundle(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("load/store path with observer allocates %.2f objects per bundle group, want 0", avg)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/hpm"
 	"repro/internal/ia64"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // Config describes one simulated machine.
@@ -62,6 +63,13 @@ type Machine struct {
 	// the per-step dispatch check in RunAll is a single comparison instead
 	// of a scan of the timer list.
 	timerNext int64
+
+	// obs is the optional observability sink; nil means disabled. The
+	// per-instruction path (CPU.stepBundle and below) never consults it —
+	// machine-level events are emitted only at RunAll boundaries, so a
+	// disabled observer costs one nil check per region execution.
+	obs        *obs.Observer
+	obsRetired int64 // cumulative retired instructions for the counter track
 }
 
 // New builds a machine for cfg executing img.
@@ -95,6 +103,14 @@ func (m *Machine) Config() Config { return m.cfg }
 
 // NumCPUs returns the processor count.
 func (m *Machine) NumCPUs() int { return len(m.cpus) }
+
+// SetObserver attaches an observability sink (nil detaches). Only RunAll
+// boundaries emit machine-level events; the instruction hot path stays
+// untouched, so the zero-alloc pins hold with an observer attached.
+func (m *Machine) SetObserver(o *obs.Observer) { m.obs = o }
+
+// Observer returns the attached observability sink (nil when disabled).
+func (m *Machine) Observer() *obs.Observer { return m.obs }
 
 // CPU returns processor id.
 func (m *Machine) CPU(id int) *CPU { return m.cpus[id] }
@@ -229,6 +245,14 @@ func (m *Machine) RunAll(active []int) (int64, error) {
 			}
 		}
 		if best == -1 {
+			if m.obs != nil {
+				m.obsRetired += retired
+				if t := m.obs.Trace(); t != nil {
+					t.Counter("retired", 0, m.GlobalCycle(),
+						map[string]float64{"instructions": float64(m.obsRetired)})
+				}
+				m.obs.Metrics().Counter("machine.runs").Inc()
+			}
 			return retired, nil
 		}
 		c := m.cpus[best]

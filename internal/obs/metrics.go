@@ -1,0 +1,346 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// Registry holds named counters, gauges, and histograms, and per-window
+// snapshots of all of them. A nil *Registry is the disabled state. Like
+// the tracer it is single-goroutine: one registry per machine instance.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	snapshots  []WindowSnapshot
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Counter is a monotonically increasing int64. A nil *Counter (from a
+// nil registry) is a no-op, so instrumented code can hold counters
+// unconditionally.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil when the registry is disabled.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v += d
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value-wins float64.
+type Gauge struct {
+	name string
+	v    float64
+	set  bool
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// when the registry is disabled.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v, g.set = v, true
+	}
+}
+
+// Value returns the last set value (0 for a nil or never-set gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram accumulates float64 observations, keeping count/sum/min/max
+// and power-of-two buckets over the observation magnitude. Buckets are
+// enough to see the shape of cycle-domain latencies without configuring
+// bounds per metric.
+type Histogram struct {
+	name    string
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets map[int]int64 // key: ceil(log2(v)) clamped at 0; -1 for v <= 0
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil when the registry is disabled.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{name: name, buckets: make(map[int]int64)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+func bucketOf(v float64) int {
+	if v <= 0 {
+		return -1
+	}
+	b := int(math.Ceil(math.Log2(v)))
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Mean returns the mean observation (0 when empty or nil).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// HistogramStat is the exported summary of one histogram.
+type HistogramStat struct {
+	Count   int64           `json:"count"`
+	Sum     float64         `json:"sum"`
+	Min     float64         `json:"min"`
+	Max     float64         `json:"max"`
+	Mean    float64         `json:"mean"`
+	Buckets map[string]int64 `json:"buckets,omitempty"` // "le_2^k" -> count
+}
+
+func (h *Histogram) stat() HistogramStat {
+	s := HistogramStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Mean: h.Mean()}
+	if len(h.buckets) > 0 {
+		s.Buckets = make(map[string]int64, len(h.buckets))
+		for k, n := range h.buckets {
+			s.Buckets[bucketLabel(k)] = n
+		}
+	}
+	return s
+}
+
+func bucketLabel(k int) string {
+	if k < 0 {
+		return "le_0"
+	}
+	// label by the inclusive upper bound 2^k
+	v := int64(1) << uint(k)
+	return "le_" + itoa(v)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// WindowSnapshot freezes every metric value at the end of one profiling
+// window. Snapshots are what make the registry diffable: the JSON dump is
+// a time series in the cycle domain.
+type WindowSnapshot struct {
+	Window     int                      `json:"window"`
+	Cycle      int64                    `json:"cycle"`
+	Counters   map[string]int64         `json:"counters,omitempty"`
+	Gauges     map[string]float64       `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStat `json:"histograms,omitempty"`
+}
+
+// Snapshot records the current value of every metric as the snapshot for
+// window (an ordinal) closing at cycle.
+func (r *Registry) Snapshot(window int, cycle int64) {
+	if r == nil {
+		return
+	}
+	s := WindowSnapshot{Window: window, Cycle: cycle}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.v
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for n, g := range r.gauges {
+			if g.set {
+				s.Gauges[n] = g.v
+			}
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramStat, len(r.histograms))
+		for n, h := range r.histograms {
+			if h.count > 0 {
+				s.Histograms[n] = h.stat()
+			}
+		}
+	}
+	r.snapshots = append(r.snapshots, s)
+}
+
+// Snapshots returns the recorded per-window snapshots.
+func (r *Registry) Snapshots() []WindowSnapshot {
+	if r == nil {
+		return nil
+	}
+	return r.snapshots
+}
+
+// Dump is the exported JSON shape of a registry: final values plus the
+// per-window time series.
+type Dump struct {
+	Counters   map[string]int64         `json:"counters,omitempty"`
+	Gauges     map[string]float64       `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStat `json:"histograms,omitempty"`
+	Windows    []WindowSnapshot         `json:"windows,omitempty"`
+}
+
+func (r *Registry) dump() Dump {
+	d := Dump{Windows: r.snapshots}
+	if len(r.counters) > 0 {
+		d.Counters = make(map[string]int64, len(r.counters))
+		for n, c := range r.counters {
+			d.Counters[n] = c.v
+		}
+	}
+	if len(r.gauges) > 0 {
+		d.Gauges = make(map[string]float64, len(r.gauges))
+		for n, g := range r.gauges {
+			if g.set {
+				d.Gauges[n] = g.v
+			}
+		}
+	}
+	if len(r.histograms) > 0 {
+		d.Histograms = make(map[string]HistogramStat, len(r.histograms))
+		for n, h := range r.histograms {
+			if h.count > 0 {
+				d.Histograms[n] = h.stat()
+			}
+		}
+	}
+	return d
+}
+
+// WriteJSON writes the registry dump as indented JSON. encoding/json
+// serializes maps with sorted keys, so output is deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var d Dump
+	if r != nil {
+		d = r.dump()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteFile writes the registry dump to path.
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// CounterNames returns the sorted names of all registered counters.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

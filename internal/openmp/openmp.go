@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/ia64"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Binder prepares a worker thread's registers for an outlined region:
@@ -48,6 +49,10 @@ type Runtime struct {
 	// thread is forked").
 	OnFork func(tid, cpu int)
 
+	// Obs, if set, records one cycle-domain span per executed region on
+	// the regions track (nil disables).
+	Obs *obs.Observer
+
 	forked []bool
 }
 
@@ -66,7 +71,9 @@ func (rt *Runtime) NumThreads() int { return rt.nthreads }
 // Machine returns the underlying machine.
 func (rt *Runtime) Machine() *machine.Machine { return rt.m }
 
-// Stats returns the per-region execution log.
+// Stats returns one RegionStat per executed region, in execution order
+// (an event log, not an aggregate counter snapshot — repeated regions
+// appear once per execution).
 func (rt *Runtime) Stats() []RegionStat { return rt.stats }
 
 // TotalCycles sums all region durations (the program's wall-clock time).
@@ -128,6 +135,11 @@ func (rt *Runtime) ParallelFor(fn ia64.Func, trip int64, bind Binder) error {
 		Name: fn.Name, Parallel: true, Threads: len(active),
 		Cycles: end - start, Retired: retired,
 	})
+	if t := rt.Obs.Trace(); t != nil {
+		t.Span("region", fn.Name, obs.TIDRegions, start, end, map[string]any{
+			"threads": len(active), "retired": retired, "parallel": true,
+		})
+	}
 	return nil
 }
 
@@ -152,6 +164,11 @@ func (rt *Runtime) Serial(fn ia64.Func, bind Binder) error {
 		Name: fn.Name, Parallel: false, Threads: 1,
 		Cycles: end - start, Retired: retired,
 	})
+	if t := rt.Obs.Trace(); t != nil {
+		t.Span("region", fn.Name, obs.TIDRegions, start, end, map[string]any{
+			"threads": 1, "retired": retired, "parallel": false,
+		})
+	}
 	return nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/hpm"
+	"repro/internal/obs"
 )
 
 // Sample is one sampling-driver record (paper §3.1: "Each sample consists
@@ -89,6 +90,13 @@ type Driver struct {
 	handlers []Handler
 	nextIdx  int64
 	dropped  int64
+
+	// Observability: sampleTrace is non-nil only when per-sample instants
+	// were explicitly enabled (they are dense — one event per delivered
+	// sample); the counters are nil-safe and track delivery and overflow.
+	sampleTrace *obs.Tracer
+	cSamples    *obs.Counter
+	cKSBDropped *obs.Counter
 }
 
 // NewDriver initializes sampling on every CPU of ctx. The four counters
@@ -117,6 +125,17 @@ func NewDriver(cfg Config, ctx Context) *Driver {
 		})
 	}
 	return d
+}
+
+// SetObserver attaches an observability sink (nil detaches): delivered
+// and dropped sample counts go to the metrics registry, and — only when
+// the observer was built with SampleEvents — one instant event per
+// delivered sample goes to the tracer, on the sampled CPU's track.
+func (d *Driver) SetObserver(o *obs.Observer) {
+	d.sampleTrace = o.SampleTrace()
+	reg := o.Metrics()
+	d.cSamples = reg.Counter("perfmon.samples")
+	d.cKSBDropped = reg.Counter("perfmon.ksb_dropped")
 }
 
 // Attach registers the monitoring-thread handler for cpu (one monitoring
@@ -148,6 +167,13 @@ func (d *Driver) capture(cpu int) {
 		d.ksb = append(d.ksb, s)
 	} else {
 		d.dropped++
+		d.cKSBDropped.Inc()
+	}
+	d.cSamples.Inc()
+	if d.sampleTrace != nil {
+		d.sampleTrace.Instant("perfmon", "sample", cpu, s.Cycle, map[string]any{
+			"pc": s.PC, "thread": s.ThreadID,
+		})
 	}
 	d.ctx.ChargeCycles(cpu, d.cfg.SampleOverhead)
 	if h := d.handlers[cpu]; h != nil {

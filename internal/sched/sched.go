@@ -35,6 +35,13 @@ type Job[T any] struct {
 	// Run computes the cell. It must not share mutable state with other
 	// jobs: the scheduler may invoke many Run functions concurrently.
 	Run func() (T, error)
+	// Artifacts, when non-nil and Options.ArtifactDir is set, is called
+	// after a successful (non-cached) Run with the artifact directory —
+	// the hook jobs use to dump per-cell observability artifacts (traces,
+	// metrics, decision logs) keyed by the job's content hash. An error
+	// surfaces as the job's Err: a cell whose evidence cannot be written
+	// is treated as failed, not silently unobservable.
+	Artifacts func(dir string) error
 }
 
 // Result pairs a job with its outcome, in the input order of Run.
@@ -75,6 +82,9 @@ type Options struct {
 	Ledger *Ledger
 	// Hooks receive progress callbacks.
 	Hooks Hooks
+	// ArtifactDir, when non-empty, enables the per-job Artifacts hooks
+	// (each executed job with an Artifacts func receives this directory).
+	ArtifactDir string
 }
 
 // Run executes jobs on a worker pool and returns one Result per job, in
@@ -148,6 +158,11 @@ func Run[T any](jobs []Job[T], opt Options) []Result[T] {
 				mu.Unlock()
 				t0 := time.Now()
 				r.Value, r.Err = j.Run()
+				if r.Err == nil && j.Artifacts != nil && opt.ArtifactDir != "" {
+					if aerr := j.Artifacts(opt.ArtifactDir); aerr != nil {
+						r.Err = fmt.Errorf("artifacts: %w", aerr)
+					}
+				}
 				r.Elapsed = time.Since(t0)
 				if r.Err == nil && j.Key != "" && opt.Ledger != nil {
 					// Best effort: a ledger write failure only costs a

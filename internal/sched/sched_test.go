@@ -220,3 +220,85 @@ func TestKeyOf(t *testing.T) {
 		t.Fatalf("key length = %d, want 64 hex chars", len(k1))
 	}
 }
+
+func TestRunArtifactsHook(t *testing.T) {
+	led, err := OpenLedger(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var calls atomic.Int64
+	var gotDir atomic.Value
+	mk := func() []Job[int] {
+		return []Job[int]{{
+			Key:  KeyOf("artifact-cell"),
+			Name: "cell",
+			Run:  func() (int, error) { return 7, nil },
+			Artifacts: func(d string) error {
+				calls.Add(1)
+				gotDir.Store(d)
+				return nil
+			},
+		}}
+	}
+
+	r := Run(mk(), Options{Ledger: led, ArtifactDir: dir})
+	if r[0].Err != nil {
+		t.Fatal(r[0].Err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("Artifacts called %d times on an executed job, want 1", calls.Load())
+	}
+	if gotDir.Load() != dir {
+		t.Fatalf("Artifacts dir = %v, want %q", gotDir.Load(), dir)
+	}
+
+	// A ledger hit skips execution, so there is no observer state to dump:
+	// the hook must not fire for cached jobs.
+	r = Run(mk(), Options{Ledger: led, ArtifactDir: dir})
+	if !r[0].Cached {
+		t.Fatal("second run was not served from the ledger")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("Artifacts called %d times after a cached run, want still 1", calls.Load())
+	}
+}
+
+func TestRunArtifactsDisabledWithoutDir(t *testing.T) {
+	jobs := []Job[int]{{
+		Name:      "cell",
+		Run:       func() (int, error) { return 1, nil },
+		Artifacts: func(string) error { t.Error("Artifacts called with no ArtifactDir"); return nil },
+	}}
+	if r := Run(jobs, Options{}); r[0].Err != nil {
+		t.Fatal(r[0].Err)
+	}
+}
+
+func TestRunArtifactsErrorFailsJobAndSkipsLedger(t *testing.T) {
+	led, err := OpenLedger(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	mk := func() []Job[int] {
+		return []Job[int]{{
+			Key:       KeyOf("bad-artifacts"),
+			Name:      "cell",
+			Run:       func() (int, error) { ran.Add(1); return 7, nil },
+			Artifacts: func(string) error { return errors.New("disk full") },
+		}}
+	}
+	r := Run(mk(), Options{Ledger: led, ArtifactDir: t.TempDir()})
+	if r[0].Err == nil {
+		t.Fatal("artifact failure did not surface as job Err")
+	}
+	// The failed cell must not be ledgered: a rerun executes again.
+	r = Run(mk(), Options{Ledger: led, ArtifactDir: t.TempDir()})
+	if r[0].Cached {
+		t.Fatal("artifact-failed job was served from the ledger")
+	}
+	if ran.Load() != 2 {
+		t.Fatalf("job ran %d times, want 2", ran.Load())
+	}
+}

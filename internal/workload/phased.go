@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/ia64"
+	"repro/internal/loopir"
+)
+
+// PhasedDaxpyParams parameterize the re-adaptation demo workload: an
+// AXPY kernel whose behaviour flips mid-run. Phase 1 hammers a small
+// cache-resident window of the arrays (aggressive prefetching causes
+// coherent misses; COBRA's noprefetch patch wins); phase 2 streams the
+// full arrays (prefetching is now essential, the patch regresses, and
+// the controller rolls it back). Under StrategyAdaptive one run
+// exercises the complete patch lifecycle including the rollback path.
+type PhasedDaxpyParams struct {
+	// Elems is the per-array element count (default 1<<19: 4 MB each).
+	Elems int64
+	// WindowElems is the phase-1 window (default 8192: 128 KB).
+	WindowElems int64
+	// Phase1Reps / Phase2Reps repeat each phase (defaults 150 / 10).
+	Phase1Reps int
+	Phase2Reps int
+	// A is the AXPY scalar (default 0.5).
+	A float64
+}
+
+func (p PhasedDaxpyParams) withDefaults() PhasedDaxpyParams {
+	if p.Elems == 0 {
+		p.Elems = 1 << 19
+	}
+	if p.WindowElems == 0 {
+		p.WindowElems = 8192
+	}
+	if p.Phase1Reps == 0 {
+		p.Phase1Reps = 150
+	}
+	if p.Phase2Reps == 0 {
+		p.Phase2Reps = 10
+	}
+	if p.A == 0 {
+		p.A = 0.5
+	}
+	return p
+}
+
+// PhasedDaxpy builds the phase-change workload of the adaptive-daxpy
+// example:
+//
+//	phase 1: Phase1Reps × parallel axpy over [0, WindowElems)
+//	phase 2: Phase2Reps × parallel axpy over [0, Elems)
+func PhasedDaxpy(p PhasedDaxpyParams) *Workload {
+	p = p.withDefaults()
+	if p.WindowElems > p.Elems {
+		panic(fmt.Sprintf("workload: phased window %d exceeds array %d", p.WindowElems, p.Elems))
+	}
+	prog := &loopir.Program{
+		Name: "phased",
+		Arrays: []loopir.Array{
+			{Name: "x", Kind: loopir.F64, Elems: p.Elems},
+			{Name: "y", Kind: loopir.F64, Elems: p.Elems},
+		},
+		Funcs: []*loopir.Func{{
+			Name:        "axpy",
+			Parallel:    true,
+			FloatParams: []string{"a"},
+			Body: []loopir.Stmt{
+				loopir.For{Var: "i", Lo: loopir.V("lo"), Hi: loopir.V("hi"), Body: []loopir.Stmt{
+					loopir.FStore{Array: "y", Index: loopir.V("i"),
+						Val: loopir.FAdd(loopir.At("y", loopir.V("i")),
+							loopir.FMul(loopir.FV("a"), loopir.At("x", loopir.V("i"))))},
+				}},
+			},
+		}},
+	}
+	return &Workload{
+		Name: "phased-daxpy",
+		Prog: prog,
+		Setup: func(c *Ctx) error {
+			for i := int64(0); i < p.Elems; i++ {
+				c.WriteF64("x", i, 1)
+				c.WriteF64("y", i, 2)
+			}
+			return nil
+		},
+		Run: func(c *Ctx) error {
+			bind := func(tid int, rf *ia64.RegFile) {
+				rf.SetFR(c.FloatArg("axpy", "a"), p.A)
+			}
+			for rep := 0; rep < p.Phase1Reps; rep++ {
+				if err := c.ParallelFor("axpy", p.WindowElems, bind); err != nil {
+					return err
+				}
+			}
+			for rep := 0; rep < p.Phase2Reps; rep++ {
+				if err := c.ParallelFor("axpy", p.Elems, bind); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Verify: func(c *Ctx) error {
+			// y starts at 2 and gains a*x (x ≡ 1) once per rep touching i.
+			for _, i := range []int64{0, p.WindowElems - 1, p.WindowElems, p.Elems - 1} {
+				reps := p.Phase2Reps
+				if i < p.WindowElems {
+					reps += p.Phase1Reps
+				}
+				want := 2 + float64(reps)*p.A
+				if got := c.ReadF64("y", i); got != want {
+					return fmt.Errorf("phased-daxpy: y[%d] = %v, want %v", i, got, want)
+				}
+			}
+			return nil
+		},
+	}
+}

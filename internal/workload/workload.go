@@ -13,6 +13,7 @@ import (
 	"repro/internal/loopir"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/openmp"
 )
 
@@ -92,6 +93,11 @@ type BuildConfig struct {
 	Compiler compiler.Options
 	// Cobra, when non-nil, attaches a COBRA runtime with this config.
 	Cobra *cobra.Config
+	// Obs, when non-nil, threads an observability sink through the whole
+	// stack (machine, OpenMP regions, COBRA). Excluded from JSON so
+	// scheduler/ledger content hashes are identical with and without
+	// observability.
+	Obs *obs.Observer `json:"-"`
 }
 
 // SMPConfig is a convenience 4-way SMP build configuration.
@@ -144,8 +150,17 @@ func assemble(w *Workload, bc BuildConfig, m *machine.Machine, res *compiler.Res
 		W:   w,
 		Ctx: &Ctx{M: m, RT: rt, Res: res, Bases: bases, Threads: bc.Threads},
 	}
+	if bc.Obs != nil {
+		m.SetObserver(bc.Obs)
+		rt.Obs = bc.Obs
+		bc.Obs.LabelTracks(m.NumCPUs())
+	}
 	if bc.Cobra != nil {
-		cb := cobra.New(m, *bc.Cobra)
+		cc := *bc.Cobra
+		if cc.Obs == nil {
+			cc.Obs = bc.Obs
+		}
+		cb := cobra.New(m, cc)
 		rt.OnFork = cb.MonitorThread
 		inst.Cobra = cb
 	}
