@@ -7,9 +7,9 @@
 GO ?= go
 BENCH_LABEL ?= $(shell date -u +%Y-%m-%d)
 
-.PHONY: ci vet build race test bench bench-smoke trace-smoke results
+.PHONY: ci vet build race test bench bench-smoke trace-smoke fuzz-smoke results
 
-ci: vet build race test bench-smoke trace-smoke
+ci: vet build race test bench-smoke trace-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,14 @@ trace-smoke:
 		-trace results/trace-smoke.json > /dev/null
 	$(GO) run ./cmd/tracecheck results/trace-smoke.json
 	rm -f results/trace-smoke.json
+
+# Differential fuzz gate: 1000 fixed-seed random programs, each run
+# unpatched and under every live-patch mode with bit-identical final
+# state demanded, MESI invariants checked online, and the control-loop
+# fault-injection battery on every fifth seed. Fixed seeds keep the gate
+# deterministic; a failure prints the seed to replay.
+fuzz-smoke:
+	$(GO) run ./cmd/cobra-verify -seed 1 -n 1000 -fault-every 5
 
 # Regenerate the committed experiment outputs through the scheduler.
 results:

@@ -10,11 +10,16 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 )
 
 // traceDoc mirrors the JSON object written by obs.Tracer.WriteJSON.
@@ -132,6 +137,9 @@ func check(path string) (problems []string, summary string) {
 			if ev.Dur == nil || *ev.Dur < 0 {
 				bad("%s: span needs dur >= 0", where)
 			}
+			for _, p := range checkArgValues(ev.Args, false) {
+				bad("%s: %s", where, p)
+			}
 		case "i":
 			sawData = true
 			if ev.TS == nil || *ev.TS < 0 {
@@ -139,6 +147,9 @@ func check(path string) (problems []string, summary string) {
 			}
 			if ev.S != "t" {
 				bad("%s: instant scope %q, want \"t\" (thread)", where, ev.S)
+			}
+			for _, p := range checkArgValues(ev.Args, false) {
+				bad("%s: %s", where, p)
 			}
 		case "C":
 			sawData = true
@@ -148,10 +159,82 @@ func check(path string) (problems []string, summary string) {
 			if len(ev.Args) == 0 {
 				bad("%s: counter without args series", where)
 			}
+			for _, p := range checkArgValues(ev.Args, true) {
+				bad("%s: %s", where, p)
+			}
 		}
 	}
 
 	summary = fmt.Sprintf("%d events: %d spans, %d instants, %d counters, %d metadata",
 		len(doc.TraceEvents), counts[0], counts[1], counts[2], counts[3])
 	return problems, summary
+}
+
+// checkArgValues rejects non-finite numerics in an event's args payload.
+// JSON cannot carry a literal NaN, but a producer with an unguarded
+// division (a zero-instruction window's IPC) either stringifies the value
+// or emits an out-of-range number like 1e999 — both render as broken
+// series in viewers and poison any tooling aggregating the trace. Counter
+// series ("C") are additionally required to be flat maps of numbers, per
+// the trace_event format. Problems are reported in sorted key order so
+// output is deterministic.
+func checkArgValues(raw json.RawMessage, counterSeries bool) (problems []string) {
+	if len(raw) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber() // keep full precision so 1e999 is caught, not pre-rounded
+	var args map[string]any
+	if err := dec.Decode(&args); err != nil {
+		return []string{"args is not a JSON object: " + err.Error()}
+	}
+
+	var walk func(key string, v any)
+	walk = func(key string, v any) {
+		switch x := v.(type) {
+		case json.Number:
+			f, err := strconv.ParseFloat(x.String(), 64)
+			if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+				problems = append(problems, fmt.Sprintf("arg %q: non-finite number %s", key, x.String()))
+			}
+		case string:
+			if isNonFiniteSpelling(x) {
+				problems = append(problems, fmt.Sprintf("arg %q: non-finite value spelled as string %q", key, x))
+			}
+		case map[string]any:
+			for _, k := range sortedKeys(x) {
+				walk(key+"."+k, x[k])
+			}
+		case []any:
+			for i, v2 := range x {
+				walk(fmt.Sprintf("%s[%d]", key, i), v2)
+			}
+		}
+	}
+	for _, k := range sortedKeys(args) {
+		if counterSeries {
+			if _, ok := args[k].(json.Number); !ok {
+				problems = append(problems, fmt.Sprintf("counter series %q: value must be a number, got %T", k, args[k]))
+				continue
+			}
+		}
+		walk(k, args[k])
+	}
+	return problems
+}
+
+// isNonFiniteSpelling reports whether s spells NaN or an infinity the way
+// fmt/strconv (or a sloppy producer) would print one.
+func isNonFiniteSpelling(s string) bool {
+	t := strings.TrimLeft(strings.ToLower(strings.TrimSpace(s)), "+-")
+	return t == "nan" || t == "inf" || t == "infinity"
+}
+
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

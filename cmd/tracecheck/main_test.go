@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTrace(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const tracePrelude = `{"displayTimeUnit":"ns",
+"otherData":{"clockDomain":"simulated-cycles","dropped":0},
+"traceEvents":[
+`
+
+func TestCheckAcceptsFiniteArgs(t *testing.T) {
+	path := writeTrace(t, tracePrelude+
+		`{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"cpu0"}},
+{"name":"w","cat":"window","ph":"X","ts":0,"dur":10,"pid":1,"tid":1000,"args":{"ipc":1.5,"samples":3}},
+{"name":"drain","cat":"monitor","ph":"i","ts":5,"pid":1,"tid":1000,"s":"t","args":{"cpu":0}},
+{"name":"retired","ph":"C","ts":7,"pid":1,"tid":0,"args":{"instr":123}}
+]}`)
+	problems, _ := check(path)
+	if len(problems) != 0 {
+		t.Fatalf("clean trace rejected: %v", problems)
+	}
+}
+
+func TestCheckRejectsNonFiniteCounterAndSpanArgs(t *testing.T) {
+	path := writeTrace(t, tracePrelude+
+		`{"name":"w","cat":"window","ph":"X","ts":0,"dur":10,"pid":1,"tid":1000,"args":{"ipc":"NaN"}},
+{"name":"i1","ph":"i","ts":1,"pid":1,"tid":0,"s":"t","args":{"share":"+Inf","nested":{"v":1e999}}},
+{"name":"retired","ph":"C","ts":2,"pid":1,"tid":0,"args":{"instr":1e999}},
+{"name":"retired","ph":"C","ts":3,"pid":1,"tid":0,"args":{"instr":"Infinity"}},
+{"name":"retired","ph":"C","ts":4,"pid":1,"tid":0,"args":{"instr":null}}
+]}`)
+	problems, _ := check(path)
+	wantFrags := []string{
+		`arg "ipc": non-finite value spelled as string "NaN"`,
+		`arg "share": non-finite value spelled as string "+Inf"`,
+		`arg "nested.v": non-finite number 1e999`,
+		`arg "instr": non-finite number 1e999`,
+		`counter series "instr": value must be a number`,
+	}
+	for _, frag := range wantFrags {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing violation %q in %v", frag, problems)
+		}
+	}
+	// The null counter value and the stringified Infinity are two separate
+	// counter-series violations.
+	nonNumber := 0
+	for _, p := range problems {
+		if strings.Contains(p, "value must be a number") {
+			nonNumber++
+		}
+	}
+	if nonNumber != 2 {
+		t.Errorf("want 2 counter-series type violations, got %d: %v", nonNumber, problems)
+	}
+}

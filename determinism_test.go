@@ -1,0 +1,64 @@
+// Determinism pins for the emission paths: two identical runs in the same
+// process must produce byte-identical observability artifacts. The golden
+// trace test catches drift against the committed fixture; this test
+// catches run-to-run variance — the signature of map-iteration order
+// leaking into an emission path (profiler histograms, region evaluation,
+// deploy ordering, report rendering) — even for configurations that have
+// no committed golden.
+package repro_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// emitAll renders every observability surface of one phased adaptive run
+// to bytes: the Chrome trace, the metrics JSON dump, and the decision-log
+// audit report.
+func emitAll(t *testing.T) []byte {
+	t.Helper()
+	o, _ := runPhasedObserved(t, obs.Config{Trace: true, Metrics: true, Decisions: true})
+	var buf bytes.Buffer
+	if err := o.Trace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("\n--- metrics ---\n")
+	if err := o.Metrics().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("\n--- decisions ---\n")
+	if err := o.Decisions().Explain(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRepeatedRunEmissionByteEquality(t *testing.T) {
+	first := emitAll(t)
+	for run := 2; run <= 3; run++ {
+		if got := emitAll(t); !bytes.Equal(got, first) {
+			line := firstDiffLine(first, got)
+			t.Fatalf("run %d emitted different bytes than run 1 (first differing line: %s)", run, line)
+		}
+	}
+}
+
+// firstDiffLine locates the first line that differs between two renderings,
+// so a failure points at the nondeterministic emitter instead of a byte
+// offset.
+func firstDiffLine(a, b []byte) string {
+	la, lb := strings.Split(string(a), "\n"), strings.Split(string(b), "\n")
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if la[i] != lb[i] {
+			return la[i] + " vs " + lb[i]
+		}
+	}
+	return "(length mismatch)"
+}

@@ -194,7 +194,10 @@ func (p *Profiler) HotLoops(minSamples int64) []LoopStat {
 		if out[i].Count != out[j].Count {
 			return out[i].Count > out[j].Count
 		}
-		return out[i].Key.Head < out[j].Key.Head
+		if out[i].Key.Head != out[j].Key.Head {
+			return out[i].Key.Head < out[j].Key.Head
+		}
+		return out[i].Key.BranchPC < out[j].Key.BranchPC
 	})
 	return out
 }

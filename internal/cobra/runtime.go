@@ -127,6 +127,10 @@ type Runtime struct {
 	obs      *obs.Observer
 	windows  int
 	lastPass int64
+
+	// selfCheckViolations latches decision-log lifecycle violations found
+	// by the per-pass replay when Config.SelfCheck is set.
+	selfCheckViolations []string
 }
 
 // emaAlpha is the smoothing factor of the pre-patch IPC baselines.
@@ -179,6 +183,17 @@ func New(m *machine.Machine, cfg Config) *Runtime {
 // Driver exposes the sampling driver (for tests and tools).
 func (r *Runtime) Driver() *perfmon.Driver { return r.driver }
 
+// USB returns the user sampling buffer attached to cpu, nil before the
+// working thread on that CPU forked. Fault-injection harnesses use it to
+// interpose on the monitor path: re-Attach a perfmon handler that drops or
+// corrupts samples before forwarding into the real buffer.
+func (r *Runtime) USB(cpu int) *USB { return r.usbs[cpu] }
+
+// SelfCheckViolations returns the decision-log lifecycle violations caught
+// by the per-pass replay. Always empty unless Config.SelfCheck is set and
+// an illegal state transition was recorded.
+func (r *Runtime) SelfCheckViolations() []string { return r.selfCheckViolations }
+
 // Stats returns a snapshot of the runtime's activity counters.
 func (r *Runtime) Stats() Stats { return r.stats.snapshot() }
 
@@ -203,8 +218,26 @@ func (r *Runtime) ActivePatches() []*Patch {
 			out = append(out, st.patch)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Region.Start < out[j].Region.Start })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Region.Start != out[j].Region.Start {
+			return out[i].Region.Start < out[j].Region.Start
+		}
+		return out[i].Region.End < out[j].Region.End
+	})
 	return out
+}
+
+// sortLoopKeys orders loop keys by full (Head, BranchPC) identity. Two
+// distinct keys can share a Head (one loop entry, two backward branches),
+// and sort.Slice is not stable, so a Head-only comparison would let map
+// iteration order leak into trace/decision emission.
+func sortLoopKeys(keys []LoopKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Head != keys[j].Head {
+			return keys[i].Head < keys[j].Head
+		}
+		return keys[i].BranchPC < keys[j].BranchPC
+	})
 }
 
 // MonitorThread creates the monitoring thread for a working thread: a USB
@@ -226,6 +259,19 @@ func (r *Runtime) MonitorThread(tid, cpu int) {
 func (r *Runtime) optimizePass(now int64) {
 	r.stats.optimizerPasses.Inc()
 	tr := r.obs.Trace()
+
+	// Age region cooldowns at the top of the pass, before this pass's
+	// evaluation can start a new one. Decrementing after evaluatePatches
+	// consumed one window of a fresh cooldown in the very pass that set it,
+	// so a region rolled back with EvaluateWindows=N could redeploy after
+	// N-1 intervals while the decision log's CooldownUntil evidence claimed
+	// the full N — the earliest redeploy pass now lands exactly on
+	// CooldownUntil.
+	for _, st := range r.regions {
+		if st.cooldown > 0 {
+			st.cooldown--
+		}
+	}
 
 	for _, u := range r.usbs {
 		if u == nil {
@@ -292,11 +338,6 @@ func (r *Runtime) optimizePass(now int64) {
 	// strategies blacklist a rolled-back region; adaptive mode escalates
 	// to the other rewrite.
 	r.evaluatePatches(win, now)
-	for _, st := range r.regions {
-		if st.cooldown > 0 {
-			st.cooldown--
-		}
-	}
 
 	evaluated := len(r.horizon) == triggerHorizon && agg.Samples > 0
 	fired := evaluated &&
@@ -331,6 +372,14 @@ func (r *Runtime) optimizePass(now int64) {
 		reg.Histogram("cobra.pass_cycles").Observe(float64(now - r.lastPass))
 		reg.Snapshot(r.windows, now)
 	}
+	// Online lifecycle oracle: with SelfCheck on, every pass replays the
+	// decision log through the legality checker so a fuzz or fault-injection
+	// run fails at the pass that recorded the illegal transition, not in a
+	// post-mortem.
+	if r.cfg.SelfCheck && len(r.selfCheckViolations) == 0 {
+		r.selfCheckViolations = r.obs.Decisions().Violations()
+	}
+
 	r.windows++
 	r.lastPass = now
 	r.prof.ResetWindow()
@@ -350,7 +399,7 @@ func (r *Runtime) evaluatePatches(win Window, now int64) {
 	if len(keys) == 0 {
 		return
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].Head < keys[j].Head })
+	sortLoopKeys(keys)
 	tr := r.obs.Trace()
 	dl := r.obs.Decisions()
 
@@ -483,7 +532,7 @@ func (r *Runtime) deployOptimizations(win Window, now int64) {
 	for k := range regionLoads {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].Head < keys[j].Head })
+	sortLoopKeys(keys)
 
 	for _, k := range keys {
 		if deployed >= maxDeploysPerPass {

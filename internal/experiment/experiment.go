@@ -250,9 +250,16 @@ func Figure3Sched(panel byte, scale DaxpyScale, opt Options) ([]DaxpyCell, error
 			for _, v := range []workload.Variant{workload.VariantPrefetch, alt} {
 				m := results[i].Value
 				i++
+				// Guard the normalization: a degenerate zero-cycle baseline
+				// must report 0, not divide into NaN/Inf that poisons the
+				// emitted table.
+				norm := 0.0
+				if base1.Cycles != 0 {
+					norm = float64(m.Cycles) / float64(base1.Cycles)
+				}
 				cells = append(cells, DaxpyCell{
 					WSBytes: ws, Threads: th, Variant: v, Cycles: m.Cycles,
-					Normalized: float64(m.Cycles) / float64(base1.Cycles),
+					Normalized: norm,
 				})
 			}
 		}

@@ -400,3 +400,83 @@ func TestCloneSyncsFromScratch(t *testing.T) {
 		t.Fatal("patching clone mutated original")
 	}
 }
+
+// TestCloneThenOverflowKeepsPlogBaseConsistent pins the interaction the
+// journal-compaction path has with Clone: a decode cache attached to a
+// clone taken from a heavily-patched original, kept in sync across the
+// clone's own journal overflow, must stay an exact copy at every step —
+// including an intermediate incremental sync whose generation falls
+// between the clone generation and the compaction drop point.
+func TestCloneThenOverflowKeepsPlogBaseConsistent(t *testing.T) {
+	img := NewImage()
+	for i := 0; i < 8; i++ {
+		img.Append(Instr{Op: OpNop})
+	}
+	// Advance the original's generation well past zero (and through one
+	// compaction) so the clone inherits a non-trivial generation.
+	for i := 0; i < plogMax+17; i++ {
+		if _, err := img.Patch(i%8, Instr{Op: OpMovI, R1: uint8(i % 4), Imm: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := img.Clone()
+	dec, gen := syncAll(c)
+	if gen != c.Generation() {
+		t.Fatalf("clone attach: gen = %d, want %d", gen, c.Generation())
+	}
+
+	verify := func(step string) {
+		t.Helper()
+		if gen != c.Generation() {
+			t.Fatalf("%s: gen = %d, want %d", step, gen, c.Generation())
+		}
+		for pc := 0; pc < c.Len(); pc++ {
+			if dec[pc] != c.Fetch(pc) {
+				t.Fatalf("%s: slot %d stale: %+v vs %+v", step, pc, dec[pc], c.Fetch(pc))
+			}
+		}
+	}
+
+	// A few patches on the clone, then an incremental sync: the cache's
+	// generation now sits a little above the clone generation.
+	for i := 0; i < 5; i++ {
+		if _, err := c.Patch(i, Instr{Op: OpMovI, R1: 9, Imm: int64(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, gen = c.SyncDecode(dec, gen)
+	verify("pre-overflow incremental sync")
+
+	// Overflow the clone's journal. The compaction drop point lands beyond
+	// the cache's generation, so this sync must take the full-fetch path —
+	// an incremental replay over the truncated journal would miss the
+	// dropped records.
+	for i := 0; i < plogMax+200; i++ {
+		if _, err := c.Patch(i%8, Instr{Op: OpMovI, R1: uint8(i % 4), Imm: int64(1000 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, gen = c.SyncDecode(dec, gen)
+	verify("post-overflow sync")
+
+	// And the mirror direction: overflowing the original after the clone
+	// was taken must not disturb a cache attached to the clone.
+	for i := 0; i < plogMax+50; i++ {
+		if _, err := img.Patch(i%8, Instr{Op: OpMovI, R1: 5, Imm: int64(5000 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, gen = c.SyncDecode(dec, gen)
+	verify("after original overflowed")
+
+	// A cache whose generation exactly equals plogBase is the boundary of
+	// the incremental gate (complete history is available for gens >
+	// plogBase, so have == plogBase qualifies): patch exactly once past the
+	// boundary and re-sync.
+	if _, err := c.Patch(3, Instr{Op: OpHalt}); err != nil {
+		t.Fatal(err)
+	}
+	dec, gen = c.SyncDecode(dec, gen)
+	verify("boundary incremental sync")
+}

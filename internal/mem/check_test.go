@@ -1,0 +1,76 @@
+package mem
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestOnlineInvariantCheckerCleanTraffic drives random coherent traffic
+// with the online checker enabled: a correct protocol must produce zero
+// violations, and the checker must actually have run.
+func TestOnlineInvariantCheckerCleanTraffic(t *testing.T) {
+	const ncpu = 4
+	cfg := Itanium2SMP(ncpu)
+	cfg.MemBytes = 8 << 20
+	m := NewMemory(cfg.MemBytes, cfg.PageSize)
+	d, err := NewDomain(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.EnableInvariantChecks(0)
+	base := m.MustAlloc("chk", 32*128, 128)
+	r := rand.New(rand.NewSource(7))
+	now := int64(0)
+	for i := 0; i < 5000; i++ {
+		cpu := r.Intn(ncpu)
+		addr := base + uint64(r.Intn(32))*128
+		d.Access(cpu, addr, kindOf(uint8(r.Intn(255))), now)
+		now += 9
+	}
+	if v := d.InvariantViolations(); len(v) != 0 {
+		t.Fatalf("clean traffic produced violations: %v", v)
+	}
+	if d.InvariantChecks() == 0 {
+		t.Fatal("checker never ran")
+	}
+}
+
+// TestOnlineInvariantCheckerDetectsCorruption plants an illegal MESI state
+// by hand (two Modified copies of one line) and verifies the next access
+// reports an I1 violation — proving the oracle can actually fail, not just
+// stay silent.
+func TestOnlineInvariantCheckerDetectsCorruption(t *testing.T) {
+	const ncpu = 2
+	cfg := Itanium2SMP(ncpu)
+	cfg.MemBytes = 8 << 20
+	m := NewMemory(cfg.MemBytes, cfg.PageSize)
+	d, err := NewDomain(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.EnableInvariantChecks(4)
+	base := m.MustAlloc("bad", 4*128, 128)
+
+	// Legitimate store, then corrupt the other CPU's hierarchy behind the
+	// protocol's back.
+	d.Access(0, base, Store, 0)
+	d.hiers[1].l2.insert(base, Modified, 0)
+	d.hiers[1].l3.insert(base, Modified, 0)
+
+	// The check runs on the accessed line, so touch the corrupted one.
+	d.Access(0, base, LoadInt, 20)
+	v := d.InvariantViolations()
+	if len(v) == 0 {
+		t.Fatal("corrupted MESI state went undetected")
+	}
+	found := false
+	for _, s := range v {
+		if strings.Contains(s, "I1:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected an I1 violation, got: %v", v)
+	}
+}

@@ -204,6 +204,10 @@ type Domain struct {
 	hiers    []*hierarchy
 	stats    []CPUStats
 	lineMask uint64 // hoisted from cfg: applied on every access
+
+	// checker, when non-nil, re-validates the MESI invariants online after
+	// every access (see EnableInvariantChecks in check.go).
+	checker *invariantChecker
 }
 
 // NewDomain builds the memory system for cfg backed by memory m.
@@ -396,6 +400,9 @@ func (d *Domain) Access(cpu int, addr uint64, kind AccessKind, now int64) Access
 		st.BusRdHitm += int64(ev.BusRdHitm)
 		st.BusRdInvalAllHitm += int64(ev.BusRdInvalAllHitm)
 		res.Ev = ev
+	}
+	if d.checker != nil {
+		d.checkOnline(cpu, addr&d.lineMask, kind)
 	}
 	return res
 }

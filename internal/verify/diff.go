@@ -1,0 +1,452 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cobra"
+	"repro/internal/ia64"
+	"repro/internal/machine"
+	"repro/internal/openmp"
+)
+
+// Mode is one way of live-patching the program mid-run. Every mode must
+// leave the architectural result bit-identical to the unpatched baseline:
+// COBRA's rewrites (lfetch→nop, lfetch→lfetch.excl, trace redirection)
+// change timing and coherence traffic, never values.
+type Mode int
+
+const (
+	ModeInPlaceNop  Mode = iota // in-place lfetch → nop mid-run
+	ModeInPlaceExcl             // in-place lfetch → lfetch.excl mid-run
+	ModeTraceNop                // trace-cache copy + entry redirect, nop rewrite
+	ModeTraceExcl               // trace-cache copy + entry redirect, excl rewrite
+	ModeRollback                // in-place nop deployed mid-run, rolled back later
+)
+
+// AllModes returns every differential mode, in deterministic order.
+func AllModes() []Mode {
+	return []Mode{ModeInPlaceNop, ModeInPlaceExcl, ModeTraceNop, ModeTraceExcl, ModeRollback}
+}
+
+func (m Mode) String() string {
+	switch m {
+	case ModeInPlaceNop:
+		return "inplace-nop"
+	case ModeInPlaceExcl:
+		return "inplace-excl"
+	case ModeTraceNop:
+		return "trace-nop"
+	case ModeTraceExcl:
+		return "trace-excl"
+	case ModeRollback:
+		return "rollback"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ParseMode is the inverse of String (cobra-verify's -modes flag).
+func ParseMode(s string) (Mode, error) {
+	for _, m := range AllModes() {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("verify: unknown mode %q", s)
+}
+
+func (m Mode) useTrace() bool { return m == ModeTraceNop || m == ModeTraceExcl }
+
+func (m Mode) rewrite() cobra.Rewrite {
+	if m == ModeInPlaceExcl || m == ModeTraceExcl {
+		return cobra.RewriteExcl
+	}
+	return cobra.RewriteNop
+}
+
+// cpuState is the logical architectural register state of one CPU:
+// general registers, floating registers as raw bits, predicates, and the
+// loop-control application registers. Logical (post-rotation) views, so
+// two runs that rotated different amounts but compute the same values
+// still compare equal.
+type cpuState struct {
+	GR [ia64.NumGR]int64
+	FR [ia64.NumFR]uint64
+	PR [ia64.NumPR]bool
+	LC int64
+	EC int64
+}
+
+type segWords struct {
+	Name  string
+	Base  uint64
+	Words []int64
+}
+
+// archState is the full architectural state the oracle compares: every
+// CPU's register file plus the contents of every allocated memory
+// segment.
+type archState struct {
+	CPUs []cpuState
+	Segs []segWords
+}
+
+func snapshotState(m *machine.Machine) *archState {
+	st := &archState{}
+	for id := 0; id < m.NumCPUs(); id++ {
+		rf := &m.CPU(id).RF
+		var cs cpuState
+		for r := 0; r < ia64.NumGR; r++ {
+			cs.GR[r] = rf.GR(uint8(r))
+		}
+		for r := 0; r < ia64.NumFR; r++ {
+			cs.FR[r] = math.Float64bits(rf.FR(uint8(r)))
+		}
+		for p := 0; p < ia64.NumPR; p++ {
+			cs.PR[p] = rf.PR(uint8(p))
+		}
+		cs.LC, cs.EC = rf.LC, rf.EC
+		st.CPUs = append(st.CPUs, cs)
+	}
+	for _, seg := range m.Memory().Segments() {
+		sw := segWords{Name: seg.Name, Base: seg.Base}
+		for off := uint64(0); off+8 <= seg.Size; off += 8 {
+			sw.Words = append(sw.Words, m.Memory().ReadI64(seg.Base+off))
+		}
+		st.Segs = append(st.Segs, sw)
+	}
+	return st
+}
+
+// diffStates reports every field where got differs from want, up to
+// limit entries — enough to localize a divergence without drowning the
+// report when a patch corrupts a whole array.
+func diffStates(want, got *archState, limit int) []string {
+	var out []string
+	add := func(format string, a ...any) bool {
+		if len(out) >= limit {
+			return false
+		}
+		out = append(out, fmt.Sprintf(format, a...))
+		return true
+	}
+	if len(want.CPUs) != len(got.CPUs) || len(want.Segs) != len(got.Segs) {
+		add("shape: %d/%d CPUs, %d/%d segments", len(got.CPUs), len(want.CPUs), len(got.Segs), len(want.Segs))
+		return out
+	}
+	for id := range want.CPUs {
+		w, g := &want.CPUs[id], &got.CPUs[id]
+		for r := range w.GR {
+			if w.GR[r] != g.GR[r] && !add("cpu%d r%d: got %d want %d", id, r, g.GR[r], w.GR[r]) {
+				return out
+			}
+		}
+		for r := range w.FR {
+			if w.FR[r] != g.FR[r] && !add("cpu%d f%d: got %#x want %#x", id, r, g.FR[r], w.FR[r]) {
+				return out
+			}
+		}
+		for p := range w.PR {
+			if w.PR[p] != g.PR[p] && !add("cpu%d p%d: got %v want %v", id, p, g.PR[p], w.PR[p]) {
+				return out
+			}
+		}
+		if w.LC != g.LC && !add("cpu%d ar.lc: got %d want %d", id, g.LC, w.LC) {
+			return out
+		}
+		if w.EC != g.EC && !add("cpu%d ar.ec: got %d want %d", id, g.EC, w.EC) {
+			return out
+		}
+	}
+	for s := range want.Segs {
+		w, g := &want.Segs[s], &got.Segs[s]
+		if w.Name != g.Name || len(w.Words) != len(g.Words) {
+			if !add("segment %d: %s/%d words vs %s/%d words", s, g.Name, len(g.Words), w.Name, len(w.Words)) {
+				return out
+			}
+			continue
+		}
+		for i := range w.Words {
+			if w.Words[i] != g.Words[i] &&
+				!add("mem %s[%d] (%#x): got %d want %d", w.Name, i, w.Base+uint64(8*i), g.Words[i], w.Words[i]) {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// patchPlan schedules a live patch during a run. nil means baseline.
+type patchPlan struct {
+	mode       Mode
+	deployAt   int64 // cycle the deploy timer fires
+	rollbackAt int64 // ModeRollback: cycle the rollback timer fires
+}
+
+// runOutcome is everything one execution of a generated program yields.
+type runOutcome struct {
+	state          *archState
+	totalCycles    int64
+	parallelCycles int64
+	retired        int64
+	deployed       bool
+
+	invariantChecks     int64
+	invariantViolations []string
+}
+
+// maxInstrPerRun bounds one generated-program execution. Generated loops
+// are all counted with small immediates, so hitting this means the
+// generator (or a patch) manufactured a runaway loop — exactly the class
+// of bug the budget converts from a hang into a failure.
+const maxInstrPerRun = 50_000_000
+
+// runEnv is one fully-prepared execution environment: fresh machine on a
+// cloned image, arrays allocated and seeded, openmp runtime bound, online
+// MESI checking armed.
+type runEnv struct {
+	m    *machine.Machine
+	rt   *openmp.Runtime
+	img  *ia64.Image
+	bind openmp.Binder
+}
+
+// setupRun builds a runEnv for p. Allocation order is fixed and memory
+// contents re-derive from the seed, so every environment of the same
+// program is bit-identically initialized and the simulator's determinism
+// makes architectural outcomes comparable across runs.
+func setupRun(p *Program) (*runEnv, error) {
+	img := p.Img.Clone()
+	mcfg := machine.DefaultConfig(p.Cfg.Threads)
+	mcfg.Mem.MemBytes = 16 << 20
+	mcfg.MaxInstrPerRun = maxInstrPerRun
+	m, err := machine.New(mcfg, img)
+	if err != nil {
+		return nil, err
+	}
+	m.Domain().EnableInvariantChecks(0)
+
+	memory := m.Memory()
+	roBase, err := memory.Alloc("fuzz.ro", uint64(8*p.Cfg.ROWords), 128)
+	if err != nil {
+		return nil, err
+	}
+	rwBase, err := memory.Alloc("fuzz.rw", uint64(8*p.RWWords()), 128)
+	if err != nil {
+		return nil, err
+	}
+	resBase, err := memory.Alloc("fuzz.res", 8, 128)
+	if err != nil {
+		return nil, err
+	}
+	init := rand.New(rand.NewSource(p.Cfg.Seed ^ 0x0b5e55ed))
+	for i := 0; i < p.Cfg.ROWords; i++ {
+		memory.WriteI64(roBase+uint64(8*i), init.Int63n(1<<32))
+	}
+	for i := 0; i < p.RWWords(); i++ {
+		memory.WriteI64(rwBase+uint64(8*i), init.Int63n(1<<32))
+	}
+
+	rt, err := openmp.NewRuntime(m, p.Cfg.Threads)
+	if err != nil {
+		return nil, err
+	}
+	bind := func(tid int, rf *ia64.RegFile) {
+		rf.SetGR(regRO, int64(roBase))
+		rf.SetGR(regRW, int64(rwBase))
+		rf.SetGR(regTIDOff, int64(tid*8))
+		rf.SetGR(regRes, int64(resBase))
+	}
+	return &runEnv{m: m, rt: rt, img: img, bind: bind}, nil
+}
+
+// run executes the kernel region and the serial reduction.
+func (e *runEnv) run(p *Program) error {
+	if err := e.rt.ParallelFor(p.Kernel, int64(p.Cfg.Threads), e.bind); err != nil {
+		return err
+	}
+	return e.rt.Serial(p.Reduce, e.bind)
+}
+
+// runProgram executes p on a fresh machine, optionally live-patching it
+// mid-run per plan, and snapshots the final architectural state.
+func runProgram(p *Program, plan *patchPlan) (*runOutcome, error) {
+	env, err := setupRun(p)
+	if err != nil {
+		return nil, err
+	}
+	m := env.m
+
+	out := &runOutcome{}
+	var deployErr error
+	if plan != nil {
+		patcher := cobra.NewPatcher(env.img, plan.mode.useTrace())
+		target := p.PatchTarget()
+		region := cobra.Region{
+			Key:      cobra.LoopKey{Head: target.Head, BranchPC: target.BranchPC},
+			Start:    target.Head,
+			End:      target.BranchPC,
+			FuncName: "fuzz.kernel",
+		}
+		var patch *cobra.Patch
+		m.AddTimer(&machine.Timer{NextAt: plan.deployAt, Fn: func(now int64) int64 {
+			patch, deployErr = patcher.Deploy(region, target.Lfetches, plan.mode.rewrite())
+			out.deployed = deployErr == nil
+			return 0
+		}})
+		if plan.mode == ModeRollback {
+			m.AddTimer(&machine.Timer{NextAt: plan.rollbackAt, Fn: func(now int64) int64 {
+				if patch != nil {
+					if err := patcher.Rollback(patch); err != nil && deployErr == nil {
+						deployErr = err
+					}
+				}
+				return 0
+			}})
+		}
+	}
+
+	if err := env.run(p); err != nil {
+		return nil, err
+	}
+	if deployErr != nil {
+		return nil, fmt.Errorf("live patch (%v): %w", plan.mode, deployErr)
+	}
+
+	out.state = snapshotState(m)
+	out.totalCycles = m.GlobalCycle()
+	out.parallelCycles = env.rt.Stats()[0].Cycles
+	for _, s := range env.rt.Stats() {
+		out.retired += s.Retired
+	}
+	out.invariantChecks = m.Domain().InvariantChecks()
+	out.invariantViolations = m.Domain().InvariantViolations()
+	return out, nil
+}
+
+// ModeResult is the differential verdict of one patched run against the
+// baseline.
+type ModeResult struct {
+	Mode       string
+	Cycles     int64
+	Deployed   bool
+	Mismatches []string // empty = bit-identical to baseline
+}
+
+// SeedReport is the full verification record of one generated program.
+type SeedReport struct {
+	Seed           int64
+	Err            string // generation or execution failure ("" = ran)
+	BaselineCycles int64
+	Retired        int64
+
+	// InvariantChecks counts online MESI checks across all runs — the
+	// harness rejects a "clean" report whose checker never ran.
+	InvariantChecks     int64
+	InvariantViolations []string
+
+	Modes  []ModeResult
+	Faults []FaultResult
+}
+
+// Failed reports whether anything about the seed's verification went
+// wrong: an execution error, an architectural mismatch, an invariant
+// violation, a fault run that didn't degrade gracefully — or a run whose
+// invariant checker silently never executed.
+func (r *SeedReport) Failed() bool {
+	if r.Err != "" || len(r.InvariantViolations) > 0 || r.InvariantChecks == 0 {
+		return true
+	}
+	for _, m := range r.Modes {
+		if len(m.Mismatches) > 0 || !m.Deployed {
+			return true
+		}
+	}
+	for _, f := range r.Faults {
+		if f.Failed() {
+			return true
+		}
+	}
+	return false
+}
+
+// Problems renders every failure of the report as one line each.
+func (r *SeedReport) Problems() []string {
+	var out []string
+	if r.Err != "" {
+		out = append(out, "run error: "+r.Err)
+	}
+	if r.Err == "" && r.InvariantChecks == 0 {
+		out = append(out, "invariant checker never ran")
+	}
+	for _, v := range r.InvariantViolations {
+		out = append(out, "invariant: "+v)
+	}
+	for _, m := range r.Modes {
+		if !m.Deployed {
+			out = append(out, m.Mode+": patch never deployed")
+		}
+		for _, d := range m.Mismatches {
+			out = append(out, m.Mode+": "+d)
+		}
+	}
+	for _, f := range r.Faults {
+		out = append(out, f.Problems()...)
+	}
+	return out
+}
+
+// diffLimit caps mismatch details recorded per mode.
+const diffLimit = 16
+
+// VerifySeed generates the program for cfg and runs the full differential
+// battery: one baseline, one patched run per mode (deploying mid-parallel
+// region, at half the baseline's region duration), and — when faults is
+// non-empty — the control-loop fault-injection runs. All runs carry the
+// online MESI invariant checker.
+func VerifySeed(cfg GenConfig, modes []Mode, faults []FaultKind) SeedReport {
+	rep := SeedReport{Seed: cfg.Seed}
+	p, err := Generate(cfg)
+	if err != nil {
+		rep.Err = err.Error()
+		return rep
+	}
+	base, err := runProgram(p, nil)
+	if err != nil {
+		rep.Err = "baseline: " + err.Error()
+		return rep
+	}
+	rep.BaselineCycles = base.totalCycles
+	rep.Retired = base.retired
+	rep.InvariantChecks = base.invariantChecks
+	rep.InvariantViolations = append(rep.InvariantViolations, base.invariantViolations...)
+
+	deployAt := base.parallelCycles / 2
+	if deployAt < 1 {
+		deployAt = 1
+	}
+	rollbackAt := deployAt + (base.parallelCycles-deployAt)/2
+	if rollbackAt <= deployAt {
+		rollbackAt = deployAt + 1
+	}
+	for _, mode := range modes {
+		run, err := runProgram(p, &patchPlan{mode: mode, deployAt: deployAt, rollbackAt: rollbackAt})
+		if err != nil {
+			rep.Err = mode.String() + ": " + err.Error()
+			return rep
+		}
+		rep.InvariantChecks += run.invariantChecks
+		rep.InvariantViolations = append(rep.InvariantViolations, run.invariantViolations...)
+		rep.Modes = append(rep.Modes, ModeResult{
+			Mode:       mode.String(),
+			Cycles:     run.totalCycles,
+			Deployed:   run.deployed,
+			Mismatches: diffStates(base.state, run.state, diffLimit),
+		})
+	}
+	for _, kind := range faults {
+		rep.Faults = append(rep.Faults, RunFault(p, base.state, kind))
+	}
+	return rep
+}

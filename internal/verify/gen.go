@@ -1,0 +1,490 @@
+// Package verify is the differential verification subsystem: a seeded
+// random program generator over the ia64 ISA model, a differential oracle
+// that runs each generated program with and without COBRA live-patching
+// and demands bit-identical architectural state, online invariant checking
+// (MESI legality in mem, decision-log legality in cobra), and a
+// fault-injection mode that perturbs the control loop's sample path and
+// asserts the runtime degrades to no-patch instead of crashing.
+//
+// The generator emits only race-free multithreaded programs: every store
+// targets a word owned by the storing thread (word w of the shared
+// read-write array belongs to thread w mod nthreads), loads read only the
+// read-only array or the thread's own words, and all loops are counted
+// with immediate trip counts. Architectural results are therefore
+// independent of thread interleaving and of execution timing — which is
+// exactly what makes a timing-changing binary patch testable: any
+// difference in final registers or memory is a correctness bug, never a
+// benign scheduling artifact. Prefetches are exempt from the ownership
+// discipline (lfetch is non-architectural), so generated programs still
+// pull lines back and forth between caches and exercise the coherence
+// machinery the patches exist to tame.
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/ia64"
+)
+
+// Register conventions of generated code. The openmp binder materializes
+// the array bases and the thread's partition offset; everything else is
+// program-private scratch.
+const (
+	regRO     = 2 // base of the shared read-only array
+	regRW     = 3 // base of the shared read-write array
+	regTIDOff = 4 // tid*8: byte offset selecting the thread's words
+	regRes    = 5 // base of the result word (reduction output)
+
+	regAddrA = 6 // address temp (loads/stores)
+	regAddrB = 7 // address temp (lfetch, pipelined stores)
+
+	scratchLo = 11 // first integer scratch register
+	scratchHi = 19 // last integer scratch register
+
+	regOuter = 21 // outer-loop counter (strictly decreasing)
+
+	fpLo = 2 // first FP scratch register
+	fpHi = 9 // last FP scratch register
+
+	prSkip    = 4  // forward-skip predicate pair (p4, p5)
+	prOuter   = 6  // outer-loop predicate pair (p6, p7)
+	prRotBase = 16 // first rotating predicate (ctop stage predicates)
+)
+
+// GenConfig parameterizes one generated program. Everything except Seed
+// shapes the program family; Seed selects the member.
+type GenConfig struct {
+	Seed    int64
+	Threads int // worker threads (= CPUs of the machine that runs it)
+	ROWords int // words of the shared read-only array
+	// OwnWords is the number of read-write words each thread owns. The
+	// array interleaves ownership at word granularity (word w belongs to
+	// thread w mod Threads), so with 128-byte lines every line is shared
+	// by several writers — deterministic false sharing by construction.
+	OwnWords int
+	Blocks   int // top-level constructs in the kernel
+	MaxTrip  int // largest loop-trip immediate the generator emits
+}
+
+// DefaultGenConfig is the corpus shape used by the fuzz smoke: small
+// enough that a seed verifies in milliseconds, large enough that every
+// construct kind (counted loops, rotation, predication, FP, prefetch)
+// appears within a handful of seeds.
+func DefaultGenConfig(seed int64) GenConfig {
+	return GenConfig{
+		Seed:     seed,
+		Threads:  3,
+		ROWords:  64,
+		OwnWords: 24,
+		Blocks:   12,
+		MaxTrip:  10,
+	}
+}
+
+// Loop records one generated loop in absolute image slots.
+type Loop struct {
+	Head     int    // branch target (loop body entry)
+	BranchPC int    // backward branch slot
+	Kind     string // "cloop", "ctop" or "outer"
+	Lfetches []int  // lfetch slots inside [Head, BranchPC]
+}
+
+// Program is one generated test case: an image holding the parallel
+// kernel and the serial reduction, plus the metadata the differential
+// oracle needs to aim the patcher at it.
+type Program struct {
+	Cfg      GenConfig
+	Img      *ia64.Image
+	Kernel   ia64.Func
+	Reduce   ia64.Func
+	Loops    []Loop
+	Lfetches []int // every lfetch slot in the kernel
+}
+
+// RWWords returns the total word count of the read-write array.
+func (p *Program) RWWords() int { return p.Cfg.Threads * p.Cfg.OwnWords }
+
+// PatchTarget picks the loop the differential oracle patches: the one
+// with the most prefetch sites (ties to the lowest Head, so the choice is
+// deterministic). The generator guarantees at least one such loop exists.
+func (p *Program) PatchTarget() Loop {
+	best := -1
+	for i, l := range p.Loops {
+		if len(l.Lfetches) == 0 {
+			continue
+		}
+		if best == -1 || len(l.Lfetches) > len(p.Loops[best].Lfetches) ||
+			(len(l.Lfetches) == len(p.Loops[best].Lfetches) && l.Head < p.Loops[best].Head) {
+			best = i
+		}
+	}
+	if best == -1 {
+		panic("verify: generated program has no patchable loop") // generator invariant
+	}
+	return p.Loops[best]
+}
+
+// gen is the in-flight generator state. Loop and lfetch slots are
+// recorded function-relative during emission and relocated to absolute
+// image slots after Asm.Close fixes the entry.
+type gen struct {
+	cfg GenConfig
+	r   *rand.Rand
+	a   *ia64.Asm
+
+	labels   int
+	loops    []Loop
+	lfetches []int
+}
+
+// Generate builds the program selected by cfg. The same config always
+// yields the bit-identical instruction stream: the only entropy source is
+// the seeded PRNG, consumed in emission order.
+func Generate(cfg GenConfig) (*Program, error) {
+	if cfg.Threads < 1 {
+		return nil, fmt.Errorf("verify: %d threads", cfg.Threads)
+	}
+	if cfg.OwnWords < 8 || cfg.ROWords < 1 {
+		return nil, fmt.Errorf("verify: arrays too small (ro=%d own=%d)", cfg.ROWords, cfg.OwnWords)
+	}
+	if cfg.MaxTrip < 1 {
+		cfg.MaxTrip = 1
+	}
+	img := ia64.NewImage()
+
+	g := &gen{cfg: cfg, r: rand.New(rand.NewSource(cfg.Seed)), a: ia64.NewAsm(img, "fuzz.kernel")}
+	g.kernel()
+	kentry, err := g.a.Close()
+	if err != nil {
+		return nil, fmt.Errorf("verify: assemble kernel: %w", err)
+	}
+	// Relocate function-relative metadata now that the entry is known.
+	for i := range g.loops {
+		g.loops[i].Head += kentry
+		g.loops[i].BranchPC += kentry
+		for j := range g.loops[i].Lfetches {
+			g.loops[i].Lfetches[j] += kentry
+		}
+	}
+	for i := range g.lfetches {
+		g.lfetches[i] += kentry
+	}
+
+	if _, err := emitReduce(img, cfg); err != nil {
+		return nil, fmt.Errorf("verify: assemble reduce: %w", err)
+	}
+
+	kfn, _ := img.LookupFunc("fuzz.kernel")
+	rfn, _ := img.LookupFunc("fuzz.reduce")
+	return &Program{
+		Cfg: cfg, Img: img,
+		Kernel: kfn, Reduce: rfn,
+		Loops: g.loops, Lfetches: g.lfetches,
+	}, nil
+}
+
+func (g *gen) label(prefix string) string {
+	g.labels++
+	return fmt.Sprintf("%s%d", prefix, g.labels)
+}
+
+func (g *gen) scratch() uint8 { return uint8(scratchLo + g.r.Intn(scratchHi-scratchLo+1)) }
+func (g *gen) fp() uint8      { return uint8(fpLo + g.r.Intn(fpHi-fpLo+1)) }
+
+// kernel emits the per-thread body. Every thread executes the same code;
+// the partition offset in regTIDOff steers its stores to its own words.
+func (g *gen) kernel() {
+	a := g.a
+
+	// Prologue: deterministic scratch state so every later op has defined
+	// inputs regardless of which blocks the PRNG picks.
+	for r := scratchLo; r <= scratchHi; r++ {
+		a.Emit(ia64.Instr{Op: ia64.OpMovI, R1: uint8(r), Imm: g.r.Int63n(1 << 32)})
+	}
+	for f := fpLo; f <= fpHi; f++ {
+		a.Emit(ia64.Instr{Op: ia64.OpFMovI, R1: uint8(f),
+			Imm: int64(math.Float64bits(float64(g.r.Intn(99) + 1)))})
+	}
+
+	// Block 0 is always a counted loop with a prefetch, so every program
+	// has a patchable region for the differential oracle.
+	g.cloopBlock(true)
+	for i := 1; i < g.cfg.Blocks; i++ {
+		g.block(true)
+	}
+	a.PadToBundle()
+	a.Emit(ia64.Instr{Op: ia64.OpHalt})
+}
+
+// block emits one construct. allowControl permits loop and skip
+// constructs; it is false inside counted-loop bodies, which stay
+// straight-line.
+func (g *gen) block(allowControl bool) {
+	if allowControl {
+		switch g.r.Intn(10) {
+		case 0:
+			g.cloopBlock(false)
+			return
+		case 1:
+			g.ctopBlock()
+			return
+		case 2:
+			g.outerBlock()
+			return
+		case 3:
+			g.skipBlock()
+			return
+		}
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		g.aluBlock()
+	case 1:
+		g.roLoad()
+	case 2:
+		g.ownLoad()
+	case 3:
+		g.ownStore()
+	case 4:
+		g.lfetch()
+	case 5:
+		g.fpBlock()
+	}
+}
+
+func (g *gen) aluBlock() {
+	dst, s1, s2 := g.scratch(), g.scratch(), g.scratch()
+	switch g.r.Intn(8) {
+	case 0:
+		g.a.Emit(ia64.Instr{Op: ia64.OpAdd, R1: dst, R2: s1, R3: s2})
+	case 1:
+		g.a.Emit(ia64.Instr{Op: ia64.OpSub, R1: dst, R2: s1, R3: s2})
+	case 2:
+		g.a.Emit(ia64.Instr{Op: ia64.OpAnd, R1: dst, R2: s1, R3: s2})
+	case 3:
+		g.a.Emit(ia64.Instr{Op: ia64.OpOr, R1: dst, R2: s1, R3: s2})
+	case 4:
+		g.a.Emit(ia64.Instr{Op: ia64.OpXor, R1: dst, R2: s1, R3: s2})
+	case 5:
+		g.a.Emit(ia64.Instr{Op: ia64.OpMul, R1: dst, R2: s1, R3: s2})
+	case 6:
+		g.a.Emit(ia64.Instr{Op: ia64.OpShlI, R1: dst, R2: s1, Imm: int64(1 + g.r.Intn(7))})
+	case 7:
+		g.a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: dst, R2: s1, Imm: g.r.Int63n(4096) - 2048})
+	}
+}
+
+// roLoad reads a random word of the shared read-only array.
+func (g *gen) roLoad() {
+	idx := g.r.Intn(g.cfg.ROWords)
+	g.a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: regAddrA, R2: regRO, Imm: int64(8 * idx)})
+	g.a.Emit(ia64.Instr{Op: ia64.OpLd, R1: g.scratch(), R2: regAddrA})
+}
+
+// ownAddr emits address arithmetic leaving the thread's own word j in
+// reg: rwBase + 8*(j*Threads) + tid*8.
+func (g *gen) ownAddr(reg uint8, j int) {
+	g.a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: reg, R2: regRW, Imm: int64(8 * j * g.cfg.Threads)})
+	g.a.Emit(ia64.Instr{Op: ia64.OpAdd, R1: reg, R2: reg, R3: regTIDOff})
+}
+
+func (g *gen) ownLoad() {
+	g.ownAddr(regAddrA, g.r.Intn(g.cfg.OwnWords))
+	g.a.Emit(ia64.Instr{Op: ia64.OpLd, R1: g.scratch(), R2: regAddrA})
+}
+
+func (g *gen) ownStore() {
+	g.ownAddr(regAddrA, g.r.Intn(g.cfg.OwnWords))
+	g.a.Emit(ia64.Instr{Op: ia64.OpSt, R2: regAddrA, R3: g.scratch()})
+}
+
+// lfetch prefetches any word of either array — including other threads'
+// words. Prefetch moves no architectural data, so it is exempt from the
+// ownership discipline and free to drag lines across caches.
+func (g *gen) lfetch() {
+	if g.r.Intn(2) == 0 {
+		idx := g.r.Intn(g.cfg.ROWords)
+		g.a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: regAddrB, R2: regRO, Imm: int64(8 * idx)})
+	} else {
+		idx := g.r.Intn(g.cfg.OwnWords * g.cfg.Threads)
+		g.a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: regAddrB, R2: regRW, Imm: int64(8 * idx)})
+	}
+	slot := g.a.Emit(ia64.Instr{Op: ia64.OpLfetch, R2: regAddrB, Hint: ia64.HintNT1})
+	g.lfetches = append(g.lfetches, slot)
+}
+
+func (g *gen) fpBlock() {
+	// Load from own data or the read-only array, arithmetic, store back
+	// to an own word.
+	fd := g.fp()
+	if g.r.Intn(2) == 0 {
+		g.ownAddr(regAddrA, g.r.Intn(g.cfg.OwnWords))
+	} else {
+		g.a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: regAddrA, R2: regRO, Imm: int64(8 * g.r.Intn(g.cfg.ROWords))})
+	}
+	g.a.Emit(ia64.Instr{Op: ia64.OpLdf, R1: fd, R2: regAddrA})
+	switch g.r.Intn(4) {
+	case 0:
+		g.a.Emit(ia64.Instr{Op: ia64.OpFAdd, R1: g.fp(), R2: fd, R3: g.fp()})
+	case 1:
+		g.a.Emit(ia64.Instr{Op: ia64.OpFMul, R1: g.fp(), R2: fd, R3: g.fp()})
+	case 2:
+		g.a.Emit(ia64.Instr{Op: ia64.OpFSub, R1: g.fp(), R2: g.fp(), R3: fd})
+	case 3:
+		g.a.Emit(ia64.Instr{Op: ia64.OpFma, R1: g.fp(), R2: fd, R3: g.fp(), Imm: int64(g.fp())})
+	}
+	g.ownAddr(regAddrA, g.r.Intn(g.cfg.OwnWords))
+	g.a.Emit(ia64.Instr{Op: ia64.OpStf, R2: regAddrA, R3: g.fp()})
+}
+
+// cloopBlock emits a br.cloop counted loop. The body is straight-line:
+// a prefetch (always, when forceLfetch, else usually) plus a few simple
+// blocks. LC is set immediately before the loop, so nesting under an
+// outer counter loop re-arms it every outer iteration.
+func (g *gen) cloopBlock(forceLfetch bool) {
+	a := g.a
+	trip := 1 + g.r.Intn(g.cfg.MaxTrip)
+	a.Emit(ia64.Instr{Op: ia64.OpMovToLCI, Imm: int64(trip)})
+	a.PadToBundle()
+	top := g.label("cloop")
+	a.Label(top)
+	head := a.Len()
+
+	lfStart := len(g.lfetches)
+	if forceLfetch || g.r.Intn(4) != 0 {
+		g.lfetch()
+	}
+	for n := 1 + g.r.Intn(3); n > 0; n-- {
+		g.block(false)
+	}
+	branch := a.Br(ia64.BrCloop, 0, top)
+	g.loops = append(g.loops, Loop{
+		Head: head, BranchPC: branch, Kind: "cloop",
+		Lfetches: append([]int(nil), g.lfetches[lfStart:]...),
+	})
+}
+
+// ctopBlock emits a two-stage software-pipelined br.ctop loop: stage 0
+// (predicate p16) loads the thread's words from the first half of its
+// partition, stage 1 (p17) stores the value rotated out of stage 0 into
+// the second half. Register rotation carries the loaded value from
+// logical r32 to r33 across the branch.
+func (g *gen) ctopBlock() {
+	a := g.a
+	half := g.cfg.OwnWords / 2
+	trip := 1 + g.r.Intn(min(g.cfg.MaxTrip, half-1))
+	stride := int64(8 * g.cfg.Threads)
+
+	a.Emit(ia64.Instr{Op: ia64.OpClrrrb})
+	a.Emit(ia64.Instr{Op: ia64.OpMovToECI, Imm: 2})
+	a.Emit(ia64.Instr{Op: ia64.OpMovToLCI, Imm: int64(trip)})
+	// Seed the stage-0 predicate: p16 = (r0 == 0) = true, p17 = false.
+	a.Emit(ia64.Instr{Op: ia64.OpCmpI, P1: prRotBase, P2: prRotBase + 1, R2: 0, Rel: ia64.CmpEQ})
+	g.ownAddr(regAddrA, 0)    // load cursor: own word 0
+	g.ownAddr(regAddrB, half) // store cursor: own word half
+	a.PadToBundle()
+	top := g.label("ctop")
+	a.Label(top)
+	head := a.Len()
+
+	lfStart := len(g.lfetches)
+	if g.r.Intn(2) == 0 {
+		g.lfetchAt(regAddrB) // prefetch the upcoming store target
+	}
+	a.Emit(ia64.Instr{Op: ia64.OpLd, QP: prRotBase, R1: ia64.RotGRBase, R2: regAddrA})
+	a.Emit(ia64.Instr{Op: ia64.OpAddI, QP: prRotBase, R1: regAddrA, R2: regAddrA, Imm: stride})
+	a.Emit(ia64.Instr{Op: ia64.OpSt, QP: prRotBase + 1, R2: regAddrB, R3: ia64.RotGRBase + 1})
+	a.Emit(ia64.Instr{Op: ia64.OpAddI, QP: prRotBase + 1, R1: regAddrB, R2: regAddrB, Imm: stride})
+	branch := a.Br(ia64.BrCtop, 0, top)
+	g.loops = append(g.loops, Loop{
+		Head: head, BranchPC: branch, Kind: "ctop",
+		Lfetches: append([]int(nil), g.lfetches[lfStart:]...),
+	})
+}
+
+// lfetchAt prefetches through an already-formed address register.
+func (g *gen) lfetchAt(reg uint8) {
+	slot := g.a.Emit(ia64.Instr{Op: ia64.OpLfetch, R2: reg, Hint: ia64.HintNT1})
+	g.lfetches = append(g.lfetches, slot)
+}
+
+// outerBlock wraps a few inner constructs in a counter loop on a
+// dedicated strictly-decreasing register, closed by a conditional
+// backward branch — the non-LC loop form, so the profiler's backward
+// br.cond path is exercised too.
+func (g *gen) outerBlock() {
+	a := g.a
+	trips := 2 + g.r.Intn(3)
+	a.Emit(ia64.Instr{Op: ia64.OpMovI, R1: regOuter, Imm: int64(trips)})
+	a.PadToBundle()
+	top := g.label("outer")
+	a.Label(top)
+	head := a.Len()
+
+	lfStart := len(g.lfetches)
+	for n := 2 + g.r.Intn(2); n > 0; n-- {
+		// Inner constructs may be counted loops but not another outer
+		// loop (regOuter is single) and not skips (label bookkeeping
+		// stays linear).
+		if g.r.Intn(3) == 0 {
+			g.cloopBlock(false)
+		} else {
+			g.block(false)
+		}
+	}
+	a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: regOuter, R2: regOuter, Imm: -1})
+	a.Emit(ia64.Instr{Op: ia64.OpCmpI, P1: prOuter, P2: prOuter + 1, R2: regOuter, Rel: ia64.CmpGT})
+	branch := a.Br(ia64.BrCond, prOuter, top)
+	g.loops = append(g.loops, Loop{
+		Head: head, BranchPC: branch, Kind: "outer",
+		Lfetches: append([]int(nil), g.lfetches[lfStart:]...),
+	})
+}
+
+// skipBlock emits a forward conditional skip over a few simple blocks.
+// The predicate derives from deterministic scratch state, so whether the
+// skip is taken is seed-determined, not timing-determined.
+func (g *gen) skipBlock() {
+	a := g.a
+	rel := []ia64.CmpRel{ia64.CmpEQ, ia64.CmpNE, ia64.CmpLT, ia64.CmpGT}[g.r.Intn(4)]
+	a.Emit(ia64.Instr{Op: ia64.OpCmpI, P1: prSkip, P2: prSkip + 1,
+		R2: g.scratch(), Rel: rel, Imm: g.r.Int63n(1 << 16)})
+	done := g.label("skip")
+	a.Br(ia64.BrCond, prSkip, done)
+	for n := 1 + g.r.Intn(3); n > 0; n-- {
+		g.block(false)
+	}
+	a.Label(done)
+}
+
+// emitReduce assembles the serial post-join reduction: CPU 0 sums every
+// read-write word into the result word. Running serially after the join
+// barrier, it is race-free by construction while forcing CPU 0 to pull
+// every dirty line out of the other CPUs' caches — the deterministic
+// HITM traffic the invariant checker watches.
+func emitReduce(img *ia64.Image, cfg GenConfig) (int, error) {
+	a := ia64.NewAsm(img, "fuzz.reduce")
+	words := cfg.Threads * cfg.OwnWords
+	a.Emit(ia64.Instr{Op: ia64.OpMovI, R1: scratchLo + 4, Imm: 0}) // accumulator
+	a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: regAddrA, R2: regRW, Imm: 0})
+	a.Emit(ia64.Instr{Op: ia64.OpMovToLCI, Imm: int64(words - 1)})
+	a.PadToBundle()
+	a.Label("sum")
+	a.Emit(ia64.Instr{Op: ia64.OpLd, R1: scratchLo, R2: regAddrA})
+	a.Emit(ia64.Instr{Op: ia64.OpAdd, R1: scratchLo + 4, R2: scratchLo + 4, R3: scratchLo})
+	a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: regAddrA, R2: regAddrA, Imm: 8})
+	a.Br(ia64.BrCloop, 0, "sum")
+	a.Emit(ia64.Instr{Op: ia64.OpSt, R2: regRes, R3: scratchLo + 4})
+	a.PadToBundle()
+	a.Emit(ia64.Instr{Op: ia64.OpHalt})
+	return a.Close()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
