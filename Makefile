@@ -1,13 +1,15 @@
 # CI entry points. `make ci` is the gate a change must pass: static
-# checks, a full build, the scheduler/experiment packages under the race
-# detector (the scheduler runs experiment cells concurrently), the full
-# tier-1 test suite, and a one-iteration benchmark smoke so the hot path
-# cannot silently stop compiling or regress to pathological cost.
+# checks, a full build, the whole module under the race detector (with
+# the short corpus — the service layer runs concurrent sessions, so
+# every package rides along), the full tier-1 test suite, and a
+# one-iteration benchmark smoke so the hot path cannot silently stop
+# compiling or regress to pathological cost.
 
 GO ?= go
 BENCH_LABEL ?= $(shell date -u +%Y-%m-%d)
+SOAK_DURATION ?= 30s
 
-.PHONY: ci vet build race test bench bench-smoke trace-smoke fuzz-smoke results
+.PHONY: ci vet build race test bench bench-smoke trace-smoke fuzz-smoke soak-smoke results
 
 ci: vet build race test bench-smoke trace-smoke fuzz-smoke
 
@@ -17,11 +19,22 @@ vet:
 build:
 	$(GO) build ./...
 
+# Whole module under the race detector. -short keeps the corpus small
+# (the golden figure sweep already skips itself under -short), so this
+# is minutes, not hours, while still covering the concurrent layers:
+# sched pool, serve sessions, experiment sweeps.
 race:
-	$(GO) test -race ./internal/sched/... ./internal/experiment/...
+	$(GO) test -race -short ./...
 
 test:
 	$(GO) test ./...
+
+# 30 seconds (SOAK_DURATION) of concurrent clients hammering an
+# in-process cobrad under the race detector: sustained submissions,
+# ledger hits, mid-run cancellations and backpressure, with the
+# terminal-state accounting audited at the end. See EXPERIMENTS.md.
+soak-smoke:
+	COBRAD_SOAK=$(SOAK_DURATION) $(GO) test -race -run TestSoak -v ./internal/serve/
 
 # Full benchmark suite at -benchtime 1x with allocation stats, recorded
 # into the BENCH.json perf ledger under $(BENCH_LABEL).

@@ -18,7 +18,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -89,18 +91,7 @@ func main() {
 			log.Fatalf("existing %s is not valid JSON: %v", *out, err)
 		}
 	}
-	f.Comment = comment
-	replaced := false
-	for i := range f.Entries {
-		if f.Entries[i].Label == lbl {
-			f.Entries[i] = entry
-			replaced = true
-			break
-		}
-	}
-	if !replaced {
-		f.Entries = append(f.Entries, entry)
-	}
+	f.upsert(entry)
 
 	b, err := json.MarshalIndent(&f, "", "  ")
 	if err != nil {
@@ -112,9 +103,27 @@ func main() {
 	log.Printf("recorded %d benchmarks under label %q in %s", len(results), lbl, *out)
 }
 
+// upsert appends entry to the ledger, replacing an existing entry with
+// the same label so a re-run updates its row instead of duplicating it.
+func (f *File) upsert(e Entry) {
+	f.Comment = comment
+	for i := range f.Entries {
+		if f.Entries[i].Label == e.Label {
+			f.Entries[i] = e
+			return
+		}
+	}
+	f.Entries = append(f.Entries, e)
+}
+
 // parse extracts benchmark result lines ("BenchmarkX-8  1  123 ns/op  4 B/op ...")
 // from r, optionally echoing everything read.
-func parse(r *os.File, tee bool) []Result {
+//
+// Non-finite metric values are rejected: strconv.ParseFloat happily
+// accepts "NaN" and "Inf", but encoding/json refuses to marshal them, so
+// recording one would make the ledger write fail at the very end of a
+// benchmark run. A line whose metrics are all non-finite is dropped.
+func parse(r io.Reader, tee bool) []Result {
 	var results []Result
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -136,6 +145,10 @@ func parse(r *os.File, tee bool) []Result {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				break
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				log.Printf("dropping non-finite metric %s=%v in %s (not JSON-encodable)", fields[i+1], v, fields[0])
+				continue
 			}
 			res.Metrics[fields[i+1]] = v
 		}

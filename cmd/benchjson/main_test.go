@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  []Result
+	}{
+		{
+			name:  "empty input",
+			input: "",
+			want:  nil,
+		},
+		{
+			name:  "no benchmark lines",
+			input: "goos: linux\ngoarch: amd64\nPASS\nok \trepro\t1.2s\n",
+			want:  nil,
+		},
+		{
+			name:  "standard line with benchmem",
+			input: "BenchmarkSimulatorThroughput-8   \t       3\t 123456789 ns/op\t     512 B/op\t       7 allocs/op\n",
+			want: []Result{{
+				Name:  "BenchmarkSimulatorThroughput",
+				Iters: 3,
+				Metrics: map[string]float64{
+					"ns/op": 123456789, "B/op": 512, "allocs/op": 7,
+				},
+			}},
+		},
+		{
+			name:  "custom metric",
+			input: "BenchmarkDaxpy-4 10 5000 ns/op 2400000 sim_instrs/op\n",
+			want: []Result{{
+				Name:    "BenchmarkDaxpy",
+				Iters:   10,
+				Metrics: map[string]float64{"ns/op": 5000, "sim_instrs/op": 2400000},
+			}},
+		},
+		{
+			name:  "NaN metric dropped, finite kept",
+			input: "BenchmarkBad-2 5 100 ns/op NaN ratio/op\n",
+			want: []Result{{
+				Name:    "BenchmarkBad",
+				Iters:   5,
+				Metrics: map[string]float64{"ns/op": 100},
+			}},
+		},
+		{
+			name:  "all metrics non-finite drops the line",
+			input: "BenchmarkWorse-2 5 NaN ns/op +Inf B/op -Inf allocs/op\n",
+			want:  nil,
+		},
+		{
+			name:  "malformed iteration count skipped",
+			input: "BenchmarkX-8 lots 100 ns/op\n",
+			want:  nil,
+		},
+		{
+			name: "mixed stream keeps order",
+			input: "goos: linux\n" +
+				"BenchmarkA-8 1 10 ns/op\n" +
+				"BenchmarkB-8 2 20 ns/op\n" +
+				"PASS\n",
+			want: []Result{
+				{Name: "BenchmarkA", Iters: 1, Metrics: map[string]float64{"ns/op": 10}},
+				{Name: "BenchmarkB", Iters: 2, Metrics: map[string]float64{"ns/op": 20}},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := parse(strings.NewReader(tc.input), false)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("parse(%q):\n got %+v\nwant %+v", tc.input, got, tc.want)
+			}
+			// Whatever parse accepts must survive the ledger's JSON encode —
+			// the invariant the NaN/Inf rejection exists to protect.
+			if _, err := json.Marshal(got); err != nil {
+				t.Errorf("parse result not JSON-encodable: %v", err)
+			}
+		})
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkSimulatorThroughput-8": "BenchmarkSimulatorThroughput",
+		"BenchmarkX-128":                 "BenchmarkX",
+		"BenchmarkNoSuffix":              "BenchmarkNoSuffix",
+		"BenchmarkTrailing-dash":         "BenchmarkTrailing-dash",
+		"Benchmark-8":                    "Benchmark",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestUpsertReplacesSameLabel(t *testing.T) {
+	var f File
+	f.upsert(Entry{Label: "pr1", Date: "2026-01-01"})
+	f.upsert(Entry{Label: "pr2", Date: "2026-02-01"})
+	if len(f.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(f.Entries))
+	}
+	if f.Comment == "" {
+		t.Fatal("upsert did not set the ledger comment")
+	}
+	f.upsert(Entry{Label: "pr1", Date: "2026-03-01"})
+	if len(f.Entries) != 2 {
+		t.Fatalf("re-labelled upsert duplicated: %d entries", len(f.Entries))
+	}
+	if f.Entries[0].Date != "2026-03-01" {
+		t.Errorf("entry pr1 not replaced in place: date %s", f.Entries[0].Date)
+	}
+	if f.Entries[1].Label != "pr2" {
+		t.Errorf("entry order disturbed: %+v", f.Entries)
+	}
+}

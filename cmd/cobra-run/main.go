@@ -3,6 +3,12 @@
 // execution time, memory-system counters and COBRA activity — the generic
 // entry point for exploring the framework.
 //
+// The flag set parses into an internal/serve Spec — the same session
+// description the cobrad service accepts over HTTP — so a batch run and a
+// served session of one configuration are the same job by construction:
+// same content hash (shared run-ledger namespace), same build path, same
+// byte-identical artifacts.
+//
 // The run goes through the internal/sched scheduler like the sweep
 // commands: -incremental reuses a recorded measurement from the run
 // ledger when the exact configuration (workload, parameters, machine,
@@ -22,10 +28,9 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/cobra"
-	"repro/internal/npb"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -54,57 +59,22 @@ func main() {
 	)
 	flag.Parse()
 
-	// The workload is rebuilt inside the job so a ledger hit skips all
-	// construction; params contribute to the cell's content hash.
-	var build func() (*workload.Workload, error)
-	var params any
-	if *name == "daxpy" {
-		p := workload.DaxpyParams{WorkingSetBytes: *ws, OuterReps: *reps}
-		params = p
-		build = func() (*workload.Workload, error) { return workload.Daxpy(p), nil }
-	} else if *name == "phased" {
-		p := workload.PhasedDaxpyParams{}
-		params = p
-		build = func() (*workload.Workload, error) { return workload.PhasedDaxpy(p), nil }
-	} else {
-		class := npb.ClassT
-		if *classS {
-			class = npb.ClassS
-		}
-		p := npb.Params{Class: class}
-		params = p
-		build = func() (*workload.Workload, error) { return npb.Build(*name, p) }
+	spec := serve.Spec{
+		Workload:  *name,
+		Threads:   *threads,
+		Machine:   *machine,
+		Strategy:  *strategy,
+		ClassS:    classS,
+		DaxpyWS:   *ws,
+		DaxpyReps: *reps,
 	}
-
-	var bc workload.BuildConfig
-	switch *machine {
-	case "smp":
-		bc = workload.SMPConfig(*threads)
-	case "numa":
-		bc = workload.NUMAConfig(*threads)
-	default:
-		log.Fatalf("unknown machine %q", *machine)
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
 	}
-
-	switch *strategy {
-	case "off":
-	case "monitor":
-		c := cobra.DefaultConfig(cobra.StrategyOff)
-		bc.Cobra = &c
-	case "noprefetch":
-		c := cobra.DefaultConfig(cobra.StrategyNoprefetch)
-		bc.Cobra = &c
-	case "excl":
-		c := cobra.DefaultConfig(cobra.StrategyExcl)
-		bc.Cobra = &c
-	case "adaptive":
-		c := cobra.DefaultConfig(cobra.StrategyAdaptive)
-		bc.Cobra = &c
-	case "bias":
-		c := cobra.DefaultConfig(cobra.StrategyBias)
-		bc.Cobra = &c
-	default:
-		log.Fatalf("unknown strategy %q", *strategy)
+	key, err := spec.Key()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// Observability: the observer is attached via BuildConfig.Obs, which is
@@ -118,7 +88,6 @@ func main() {
 			Metrics:      *metricsFile != "",
 			Decisions:    *explain,
 		})
-		bc.Obs = observer
 	}
 
 	opt := sched.Options{Workers: *jobs}
@@ -133,20 +102,19 @@ func main() {
 		opt.Hooks = sched.ConsoleHooks(os.Stderr)
 	}
 
-	var inst *workload.Instance // captured for -show-patches; nil on a ledger hit
+	// The workload is instantiated inside the job so a ledger hit skips all
+	// construction; inst is captured for -show-patches (nil on a hit).
+	var inst *workload.Instance
 	job := sched.Job[workload.Measurement]{
-		Key:  sched.KeyOf("cobra-run", *name, params, bc),
-		Name: fmt.Sprintf("%s/t=%d/%s/%s", *name, *threads, *machine, *strategy),
+		Key:  key,
+		Name: spec.Name(),
 		Run: func() (workload.Measurement, error) {
-			w, err := build()
+			i, err := spec.Instantiate(nil, observer)
 			if err != nil {
 				return workload.Measurement{}, err
 			}
-			inst, err = workload.Build(w, bc)
-			if err != nil {
-				return workload.Measurement{}, err
-			}
-			return inst.Measure()
+			inst = i
+			return i.Measure()
 		},
 	}
 	results := sched.Run([]sched.Job[workload.Measurement]{job}, opt)
@@ -155,7 +123,7 @@ func main() {
 	}
 	m := results[0].Value
 
-	fmt.Printf("workload   %s (%d threads, %s, strategy=%s)\n", m.Name, m.Threads, *machine, *strategy)
+	fmt.Printf("workload   %s (%d threads, %s, strategy=%s)\n", m.Name, m.Threads, spec.Machine, spec.Strategy)
 	if results[0].Cached {
 		fmt.Println("source     run ledger (recorded measurement; rerun without -incremental to re-execute)")
 	}
@@ -168,7 +136,7 @@ func main() {
 		st.BusMemory, st.BusRdHit, st.BusRdHitm, st.BusRdInvalAllHitm, st.BusUpgrades)
 	fmt.Printf("coherence  ratio=%.4f demand-avg-latency=%.1f\n",
 		st.CoherentRatio(), float64(st.DemandLatencyTotal)/float64(max64(st.DemandAccesses, 1)))
-	if bc.Cobra != nil {
+	if spec.Strategy != "off" {
 		cs := m.Cobra
 		fmt.Printf("cobra      samples=%d passes=%d triggers=%d patches=%d rollbacks=%d nopped=%d excl=%d biased=%d traces=%d\n",
 			cs.SamplesSeen, cs.OptimizerPasses, cs.Triggers, cs.PatchesApplied,

@@ -70,6 +70,16 @@ type Machine struct {
 	// disabled observer costs one nil check per region execution.
 	obs        *obs.Observer
 	obsRetired int64 // cumulative retired instructions for the counter track
+
+	// interrupt, when non-nil, is polled roughly every interruptEvery
+	// retired instructions during RunAll; a non-nil return aborts the run
+	// with that error. This is how a service host cancels a simulation
+	// mid-flight (context deadline, client disconnect) without threading a
+	// context through the instruction hot path: the disabled state costs
+	// one nil check per retired bundle.
+	interrupt      func() error
+	interruptEvery int64
+	sinceInterrupt int64
 }
 
 // New builds a machine for cfg executing img.
@@ -111,6 +121,35 @@ func (m *Machine) SetObserver(o *obs.Observer) { m.obs = o }
 
 // Observer returns the attached observability sink (nil when disabled).
 func (m *Machine) Observer() *obs.Observer { return m.obs }
+
+// SetInterrupt installs fn as the run-interruption poll: RunAll calls it
+// roughly every n retired instructions (n <= 0 selects a default of
+// 50000, ~sub-millisecond reaction at simulator speed) and aborts with
+// fn's error when it returns non-nil. fn runs on the simulating
+// goroutine; it must be fast and must not touch machine state. A nil fn
+// disables polling. The poll only reads simulation state, so an
+// installed-but-quiet interrupt does not perturb simulated cycles —
+// cancellation changes when a run stops, never what it computes.
+func (m *Machine) SetInterrupt(fn func() error, n int64) {
+	if n <= 0 {
+		n = 50_000
+	}
+	m.interrupt = fn
+	m.interruptEvery = n
+	m.sinceInterrupt = 0
+}
+
+// pollInterrupt charges n retired instructions against the interrupt
+// budget and fires the poll when it is spent. Callers guard on
+// m.interrupt != nil so the disabled state costs one branch.
+func (m *Machine) pollInterrupt(n int64) error {
+	m.sinceInterrupt += n
+	if m.sinceInterrupt < m.interruptEvery {
+		return nil
+	}
+	m.sinceInterrupt = 0
+	return m.interrupt()
+}
 
 // CPU returns processor id.
 func (m *Machine) CPU(id int) *CPU { return m.cpus[id] }
@@ -271,6 +310,11 @@ func (m *Machine) RunAll(active []int) (int64, error) {
 					return retired, fmt.Errorf("machine: instruction budget %d exceeded (runaway loop? PC=%d on CPU %d)",
 						m.cfg.MaxInstrPerRun, c.PC, best)
 				}
+				if m.interrupt != nil {
+					if err := m.pollInterrupt(n); err != nil {
+						return retired, fmt.Errorf("machine: run interrupted: %w", err)
+					}
+				}
 			}
 			if !c.Halted {
 				m.fireTimers(c.Cycle)
@@ -289,6 +333,11 @@ func (m *Machine) RunAll(active []int) (int64, error) {
 		if retired > m.cfg.MaxInstrPerRun {
 			return retired, fmt.Errorf("machine: instruction budget %d exceeded (runaway loop? PC=%d on CPU %d)",
 				m.cfg.MaxInstrPerRun, c.PC, best)
+		}
+		if m.interrupt != nil {
+			if err := m.pollInterrupt(n); err != nil {
+				return retired, fmt.Errorf("machine: run interrupted: %w", err)
+			}
 		}
 	}
 }

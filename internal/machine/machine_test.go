@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -489,5 +490,73 @@ func TestDEARCapturesDelinquentLoad(t *testing.T) {
 	s := m.PMU(0).ReadDEAR()
 	if !s.Valid || s.PC != entry+ldSlot || s.Addr != addr {
 		t.Fatalf("DEAR = %+v, want capture of load at %d addr %#x", s, entry+ldSlot, addr)
+	}
+}
+
+// TestInterruptAbortsRun: an installed interrupt poll that starts
+// returning an error stops RunAll mid-loop with that error wrapped — the
+// mechanism a service uses to cancel a session without waiting for the
+// program to halt.
+func TestInterruptAbortsRun(t *testing.T) {
+	img := ia64.NewImage()
+	entry := asmSumLoop(img)
+	m := testMachine(t, img, 1)
+
+	const n = 1 << 16 // long enough to cross several poll intervals
+	base := m.Memory().MustAlloc("a", 8*n, 128)
+	m.StartThread(0, entry, 1, func(rf *ia64.RegFile) {
+		rf.SetGR(8, int64(base))
+		rf.SetGR(10, n-1)
+	})
+	stop := errors.New("cancelled by host")
+	polls := 0
+	m.SetInterrupt(func() error {
+		polls++
+		if polls >= 2 {
+			return stop
+		}
+		return nil
+	}, 10_000)
+	_, err := m.Run(0)
+	if !errors.Is(err, stop) {
+		t.Fatalf("interrupted run: err = %v, want wrapped %v", err, stop)
+	}
+	if polls != 2 {
+		t.Fatalf("poll count = %d, want 2 (every ~10k instructions)", polls)
+	}
+	if !strings.Contains(err.Error(), "run interrupted") {
+		t.Fatalf("error does not say the run was interrupted: %v", err)
+	}
+}
+
+// TestInterruptQuietDoesNotPerturbSimulation: a poll that never fires an
+// error must leave the simulated outcome (cycles, registers) bit-identical
+// to an uninstrumented run — cancellation support must be free when unused.
+func TestInterruptQuietDoesNotPerturbSimulation(t *testing.T) {
+	run := func(withPoll bool) (int64, int64) {
+		img := ia64.NewImage()
+		entry := asmSumLoop(img)
+		m := testMachine(t, img, 1)
+		const n = 4096
+		base := m.Memory().MustAlloc("a", 8*n, 128)
+		for i := 0; i < n; i++ {
+			m.Memory().WriteI64(base+uint64(8*i), int64(i))
+		}
+		m.StartThread(0, entry, 1, func(rf *ia64.RegFile) {
+			rf.SetGR(8, int64(base))
+			rf.SetGR(10, n-1)
+		})
+		if withPoll {
+			m.SetInterrupt(func() error { return nil }, 1000)
+		}
+		if _, err := m.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return m.GlobalCycle(), m.CPU(0).RF.GR(9)
+	}
+	c0, s0 := run(false)
+	c1, s1 := run(true)
+	if c0 != c1 || s0 != s1 {
+		t.Fatalf("quiet interrupt perturbed the run: cycles %d vs %d, sum %d vs %d", c0, c1, s0, s1)
 	}
 }

@@ -178,11 +178,11 @@ func (h *Histogram) Mean() float64 {
 
 // HistogramStat is the exported summary of one histogram.
 type HistogramStat struct {
-	Count   int64           `json:"count"`
-	Sum     float64         `json:"sum"`
-	Min     float64         `json:"min"`
-	Max     float64         `json:"max"`
-	Mean    float64         `json:"mean"`
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Min     float64          `json:"min"`
+	Max     float64          `json:"max"`
+	Mean    float64          `json:"mean"`
 	Buckets map[string]int64 `json:"buckets,omitempty"` // "le_2^k" -> count
 }
 
@@ -305,6 +305,19 @@ func (r *Registry) dump() Dump {
 		}
 	}
 	return d
+}
+
+// Dump snapshots the registry into its exported JSON shape: final values
+// plus the per-window time series. A nil registry dumps the zero Dump.
+// This is the programmatic form of WriteJSON — service endpoints
+// (/metricsz) embed it in larger response bodies, and callers that hold a
+// lock around a shared registry can snapshot under it and serialize
+// outside it.
+func (r *Registry) Dump() Dump {
+	if r == nil {
+		return Dump{}
+	}
+	return r.dump()
 }
 
 // WriteJSON writes the registry dump as indented JSON. encoding/json

@@ -354,3 +354,31 @@ func TestWriteArtifacts(t *testing.T) {
 		t.Fatalf("unexpected artifacts: %v", entries)
 	}
 }
+
+// TestRegistryDumpSnapshot: the exported Dump mirrors WriteJSON's shape —
+// final values plus windows — and is nil-safe, so the service /metricsz
+// endpoint can embed it without special cases.
+func TestRegistryDumpSnapshot(t *testing.T) {
+	var nilReg *Registry
+	if d := nilReg.Dump(); d.Counters != nil || d.Gauges != nil || len(d.Windows) != 0 {
+		t.Fatalf("nil registry dump not zero: %+v", d)
+	}
+	r := NewRegistry()
+	r.Counter("serve.sessions").Add(3)
+	r.Gauge("serve.queue_depth").Set(2)
+	r.Histogram("serve.cycles").Observe(100)
+	r.Snapshot(1, 5000)
+	d := r.Dump()
+	if d.Counters["serve.sessions"] != 3 {
+		t.Fatalf("counter in dump = %d, want 3", d.Counters["serve.sessions"])
+	}
+	if d.Gauges["serve.queue_depth"] != 2 {
+		t.Fatalf("gauge in dump = %v, want 2", d.Gauges["serve.queue_depth"])
+	}
+	if h, ok := d.Histograms["serve.cycles"]; !ok || h.Count != 1 {
+		t.Fatalf("histogram in dump = %+v, want count 1", h)
+	}
+	if len(d.Windows) != 1 || d.Windows[0].Cycle != 5000 {
+		t.Fatalf("windows in dump = %+v, want one at cycle 5000", d.Windows)
+	}
+}

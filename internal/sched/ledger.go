@@ -47,9 +47,12 @@ func (l *Ledger) path(key string) string {
 }
 
 // Get looks up a recorded value by job key, decoding it into out (a
-// pointer). It returns (false, nil) for a plain miss; a corrupt or
-// mismatched entry is also a miss, with the decode error reported for
-// diagnostics.
+// pointer). It returns (false, nil) for a plain miss. A truncated,
+// corrupt or mismatched entry — e.g. the trailing write of a run killed
+// mid-flight — is recovered, not fatal: the bad file is quarantined
+// (renamed to <key>.json.corrupt so the next run re-executes the cell and
+// the evidence survives for triage), and Get reports (false, err) where
+// err describes the recovery so callers can log it and continue.
 func (l *Ledger) Get(key string, out any) (bool, error) {
 	data, err := os.ReadFile(l.path(key))
 	if err != nil {
@@ -57,15 +60,31 @@ func (l *Ledger) Get(key string, out any) (bool, error) {
 	}
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil {
-		return false, fmt.Errorf("sched: ledger entry %s: %w", key, err)
+		return false, l.quarantine(key, fmt.Errorf("truncated or corrupt JSON: %w", err))
 	}
 	if e.V != ledgerVersion || e.Key != key {
-		return false, fmt.Errorf("sched: ledger entry %s: version/key mismatch", key)
+		return false, l.quarantine(key, fmt.Errorf("version/key mismatch (v=%d key=%.16s…)", e.V, e.Key))
 	}
 	if err := json.Unmarshal(e.Value, out); err != nil {
-		return false, fmt.Errorf("sched: ledger entry %s value: %w", key, err)
+		return false, l.quarantine(key, fmt.Errorf("undecodable value: %w", err))
 	}
 	return true, nil
+}
+
+// quarantine moves a bad entry aside so it reads as a plain miss from now
+// on, and wraps cause with what happened. Removal is the fallback when the
+// rename itself fails; if even that fails the entry stays and every run
+// will re-report it — still only a lost cache hit, never a failed run.
+func (l *Ledger) quarantine(key string, cause error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := os.Rename(l.path(key), l.path(key)+".corrupt"); err != nil {
+		if rmErr := os.Remove(l.path(key)); rmErr != nil {
+			return fmt.Errorf("ledger entry %s unreadable (%v) and could not be quarantined (%v): treating as a miss", key, cause, err)
+		}
+		return fmt.Errorf("ledger entry %s unreadable (%v): removed, re-executing", key, cause)
+	}
+	return fmt.Errorf("ledger entry %s unreadable (%v): quarantined as %s.json.corrupt, re-executing", key, cause, key)
 }
 
 // Put records a value under a job key, atomically (write to a temp file in

@@ -13,12 +13,14 @@
 package sched
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -34,7 +36,13 @@ type Job[T any] struct {
 	Name string
 	// Run computes the cell. It must not share mutable state with other
 	// jobs: the scheduler may invoke many Run functions concurrently.
+	// Exactly one of Run and RunCtx must be set.
 	Run func() (T, error)
+	// RunCtx is the context-aware form of Run, for jobs that can be
+	// cancelled mid-execution (long sessions on a service pool). The
+	// context passed is the job's own context (Pool.Submit) or the run
+	// context (RunContext). When both Run and RunCtx are set, RunCtx wins.
+	RunCtx func(ctx context.Context) (T, error)
 	// Artifacts, when non-nil and Options.ArtifactDir is set, is called
 	// after a successful (non-cached) Run with the artifact directory —
 	// the hook jobs use to dump per-cell observability artifacts (traces,
@@ -42,6 +50,18 @@ type Job[T any] struct {
 	// surfaces as the job's Err: a cell whose evidence cannot be written
 	// is treated as failed, not silently unobservable.
 	Artifacts func(dir string) error
+}
+
+// PanicError is the job error produced when a Run panics: the scheduler
+// isolates the panic to the owning job instead of tearing down the whole
+// worker pool (and, for a service, the process).
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // the panicking goroutine's stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: job panicked: %v", e.Value)
 }
 
 // Result pairs a job with its outcome, in the input order of Run.
@@ -85,6 +105,83 @@ type Options struct {
 	// ArtifactDir, when non-empty, enables the per-job Artifacts hooks
 	// (each executed job with an Artifacts func receives this directory).
 	ArtifactDir string
+	// Logf, when non-nil, receives diagnostics the scheduler recovers
+	// from rather than failing the run — ledger entries it had to
+	// quarantine, panics it isolated. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// executeJob runs one job under jctx with the shared hardening applied:
+// ledger lookup (with corrupt-entry recovery), cancellation before and
+// after execution, panic isolation, the artifact hook, and the ledger
+// write. It is the single execution path shared by the batch Run and the
+// service Pool; hooks and progress counters stay with the callers.
+// onStart, when non-nil, fires exactly when real execution begins — never
+// for a ledger hit or a pre-start cancellation.
+func executeJob[T any](jctx context.Context, j Job[T], opt Options, onStart func()) Result[T] {
+	r := Result[T]{Name: j.Name, Key: j.Key}
+	// A job whose context is already done never starts — and is reported
+	// as cancelled even if a ledger entry exists, so callers observe one
+	// consistent outcome for cancellation regardless of cache state.
+	if err := jctx.Err(); err != nil {
+		r.Err = err
+		return r
+	}
+	if j.Key != "" && opt.Ledger != nil {
+		hit, err := opt.Ledger.Get(j.Key, &r.Value)
+		if err != nil {
+			// Recovered (corrupt entry quarantined by the ledger): log and
+			// fall through to a fresh execution.
+			opt.logf("sched: %v", err)
+		}
+		if hit {
+			r.Cached = true
+			return r
+		}
+	}
+	if onStart != nil {
+		onStart()
+	}
+	t0 := time.Now()
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				r.Err = &PanicError{Value: p, Stack: debug.Stack()}
+				opt.logf("sched: job %s panicked: %v\n%s", j.Name, p, r.Err.(*PanicError).Stack)
+			}
+		}()
+		if j.RunCtx != nil {
+			r.Value, r.Err = j.RunCtx(jctx)
+		} else {
+			r.Value, r.Err = j.Run()
+		}
+	}()
+	// A run that raced with cancellation reports the cancellation: the
+	// ledger must never record a cancelled job as complete, and callers
+	// must never observe a "done" result for a session they cancelled.
+	if r.Err == nil {
+		if err := jctx.Err(); err != nil {
+			r.Err = err
+		}
+	}
+	if r.Err == nil && j.Artifacts != nil && opt.ArtifactDir != "" {
+		if aerr := j.Artifacts(opt.ArtifactDir); aerr != nil {
+			r.Err = fmt.Errorf("artifacts: %w", aerr)
+		}
+	}
+	r.Elapsed = time.Since(t0)
+	if r.Err == nil && j.Key != "" && opt.Ledger != nil {
+		// Best effort: a ledger write failure only costs a
+		// future cache hit, never the computed result.
+		_ = opt.Ledger.Put(j.Key, j.Name, r.Value)
+	}
+	return r
 }
 
 // Run executes jobs on a worker pool and returns one Result per job, in
@@ -93,6 +190,14 @@ type Options struct {
 // does not stop the others — callers decide by inspecting Result.Err (see
 // FirstErr).
 func Run[T any](jobs []Job[T], opt Options) []Result[T] {
+	return RunContext(context.Background(), jobs, opt)
+}
+
+// RunContext is Run under a context: jobs that have not started when ctx
+// is cancelled finish immediately with ctx's error, and running jobs that
+// consult their context (RunCtx) observe the cancellation mid-execution.
+// Cancelled jobs are never recorded in the ledger.
+func RunContext[T any](ctx context.Context, jobs []Job[T], opt Options) []Result[T] {
 	results := make([]Result[T], len(jobs))
 
 	// Dedup by key: the first job with a key is the primary; later jobs
@@ -140,39 +245,20 @@ func Run[T any](jobs []Job[T], opt Options) []Result[T] {
 			defer wg.Done()
 			for i := range idx {
 				j := jobs[i]
-				r := Result[T]{Name: j.Name, Key: j.Key}
-				if j.Key != "" && opt.Ledger != nil {
-					if hit, _ := opt.Ledger.Get(j.Key, &r.Value); hit {
-						r.Cached = true
-						results[i] = r
-						mu.Lock()
-						finished++
-						emit(opt.Hooks.Cached, Event{Seq: finished, Total: total, Name: j.Name, Key: j.Key})
-						mu.Unlock()
-						continue
-					}
-				}
-				mu.Lock()
-				started++
-				emit(opt.Hooks.Started, Event{Seq: started, Total: total, Name: j.Name, Key: j.Key})
-				mu.Unlock()
-				t0 := time.Now()
-				r.Value, r.Err = j.Run()
-				if r.Err == nil && j.Artifacts != nil && opt.ArtifactDir != "" {
-					if aerr := j.Artifacts(opt.ArtifactDir); aerr != nil {
-						r.Err = fmt.Errorf("artifacts: %w", aerr)
-					}
-				}
-				r.Elapsed = time.Since(t0)
-				if r.Err == nil && j.Key != "" && opt.Ledger != nil {
-					// Best effort: a ledger write failure only costs a
-					// future cache hit, never the computed result.
-					_ = opt.Ledger.Put(j.Key, j.Name, r.Value)
-				}
+				r := executeJob(ctx, j, opt, func() {
+					mu.Lock()
+					started++
+					emit(opt.Hooks.Started, Event{Seq: started, Total: total, Name: j.Name, Key: j.Key})
+					mu.Unlock()
+				})
 				results[i] = r
 				mu.Lock()
 				finished++
-				emit(opt.Hooks.Finished, Event{Seq: finished, Total: total, Name: j.Name, Key: j.Key, Elapsed: r.Elapsed, Err: r.Err})
+				if r.Cached {
+					emit(opt.Hooks.Cached, Event{Seq: finished, Total: total, Name: j.Name, Key: j.Key})
+				} else {
+					emit(opt.Hooks.Finished, Event{Seq: finished, Total: total, Name: j.Name, Key: j.Key, Elapsed: r.Elapsed, Err: r.Err})
+				}
 				mu.Unlock()
 			}
 		}()

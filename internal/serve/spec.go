@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/cobra"
+	"repro/internal/npb"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Spec is the portable description of one optimization session: which
+// workload to run, on which machine model, at what scale, under which
+// COBRA strategy. It is the JSON request body of the cobrad service and
+// the parsed flag set of the cobra-run CLI — both front ends build their
+// scheduler job through the same Spec methods, so a session served by
+// cobrad is byte-identical to the equivalent batch invocation, including
+// its run-ledger content hash.
+type Spec struct {
+	// Workload is daxpy, phased, or an NPB benchmark (bt, sp, lu, ft,
+	// mg, cg, ep, is). Empty defaults to daxpy.
+	Workload string `json:"workload"`
+	// Threads is the worker thread (= CPU) count; 0 defaults to 4.
+	Threads int `json:"threads,omitempty"`
+	// Machine is smp (front-side bus) or numa (Altix-like); empty
+	// defaults to smp.
+	Machine string `json:"machine,omitempty"`
+	// Strategy is off, monitor, noprefetch, excl, adaptive or bias;
+	// empty defaults to off.
+	Strategy string `json:"strategy,omitempty"`
+	// ClassS selects class-S-scaled NPB sizes (nil/true) vs tiny (false).
+	ClassS *bool `json:"class_s,omitempty"`
+	// DaxpyWS is the DAXPY working-set size in bytes; 0 defaults to 128 KiB.
+	DaxpyWS int64 `json:"daxpy_ws,omitempty"`
+	// DaxpyReps is the DAXPY outer repetition count; 0 defaults to 100.
+	DaxpyReps int `json:"daxpy_reps,omitempty"`
+}
+
+// Bounds enforced by Validate. They bound a single session's memory and
+// runtime, which is what lets cobrad promise that a bounded queue of
+// validated sessions cannot OOM the process.
+const (
+	MaxThreads   = 16
+	MinDaxpyWS   = 4 << 10
+	MaxDaxpyWS   = 64 << 20
+	MaxDaxpyReps = 100_000
+)
+
+var npbNames = func() map[string]bool {
+	m := map[string]bool{}
+	for _, n := range npb.Names {
+		m[n] = true
+	}
+	return m
+}()
+
+// Normalize fills defaults in place; the zero Spec normalizes to the
+// cobra-run CLI's defaults (daxpy, 4 threads, smp, strategy off).
+func (s *Spec) Normalize() {
+	if s.Workload == "" {
+		s.Workload = "daxpy"
+	}
+	if s.Threads == 0 {
+		s.Threads = 4
+	}
+	if s.Machine == "" {
+		s.Machine = "smp"
+	}
+	if s.Strategy == "" {
+		s.Strategy = "off"
+	}
+	if s.Workload == "daxpy" {
+		if s.DaxpyWS == 0 {
+			s.DaxpyWS = 128 << 10
+		}
+		if s.DaxpyReps == 0 {
+			s.DaxpyReps = 100
+		}
+	}
+}
+
+// Validate reports the first problem with a normalized spec, with enough
+// context for an HTTP 400 body to be actionable.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Workload == "daxpy", s.Workload == "phased", npbNames[s.Workload]:
+	default:
+		return fmt.Errorf("unknown workload %q (want daxpy, phased, or one of %v)", s.Workload, npb.Names)
+	}
+	if s.Threads < 1 || s.Threads > MaxThreads {
+		return fmt.Errorf("threads %d out of range [1, %d]", s.Threads, MaxThreads)
+	}
+	if s.Machine != "smp" && s.Machine != "numa" {
+		return fmt.Errorf("unknown machine %q (want smp or numa)", s.Machine)
+	}
+	switch s.Strategy {
+	case "off", "monitor", "noprefetch", "excl", "adaptive", "bias":
+	default:
+		return fmt.Errorf("unknown strategy %q (want off, monitor, noprefetch, excl, adaptive or bias)", s.Strategy)
+	}
+	if s.Workload == "daxpy" {
+		if s.DaxpyWS < MinDaxpyWS || s.DaxpyWS > MaxDaxpyWS {
+			return fmt.Errorf("daxpy_ws %d out of range [%d, %d]", s.DaxpyWS, MinDaxpyWS, MaxDaxpyWS)
+		}
+		if s.DaxpyWS%8 != 0 {
+			return fmt.Errorf("daxpy_ws %d not a multiple of 8", s.DaxpyWS)
+		}
+		if s.DaxpyReps < 1 || s.DaxpyReps > MaxDaxpyReps {
+			return fmt.Errorf("daxpy_reps %d out of range [1, %d]", s.DaxpyReps, MaxDaxpyReps)
+		}
+	}
+	return nil
+}
+
+func (s *Spec) classS() bool { return s.ClassS == nil || *s.ClassS }
+
+// params returns the typed parameter value that contributes to the
+// session's content hash — the same values cobra-run has always hashed,
+// so ledger entries are shared between the CLI and the service.
+func (s *Spec) params() any {
+	switch {
+	case s.Workload == "daxpy":
+		return workload.DaxpyParams{WorkingSetBytes: s.DaxpyWS, OuterReps: s.DaxpyReps}
+	case s.Workload == "phased":
+		return workload.PhasedDaxpyParams{}
+	default:
+		class := npb.ClassT
+		if s.classS() {
+			class = npb.ClassS
+		}
+		return npb.Params{Class: class}
+	}
+}
+
+// buildWorkload constructs the workload program. Deterministic: a pure
+// function of the spec.
+func (s *Spec) buildWorkload() (*workload.Workload, error) {
+	switch p := s.params().(type) {
+	case workload.DaxpyParams:
+		return workload.Daxpy(p), nil
+	case workload.PhasedDaxpyParams:
+		return workload.PhasedDaxpy(p), nil
+	case npb.Params:
+		return npb.Build(s.Workload, p)
+	}
+	panic("unreachable")
+}
+
+// buildConfig assembles the machine + strategy configuration.
+func (s *Spec) buildConfig() (workload.BuildConfig, error) {
+	var bc workload.BuildConfig
+	switch s.Machine {
+	case "smp":
+		bc = workload.SMPConfig(s.Threads)
+	case "numa":
+		bc = workload.NUMAConfig(s.Threads)
+	default:
+		return bc, fmt.Errorf("unknown machine %q", s.Machine)
+	}
+	switch s.Strategy {
+	case "off":
+	case "monitor":
+		c := cobra.DefaultConfig(cobra.StrategyOff)
+		bc.Cobra = &c
+	case "noprefetch":
+		c := cobra.DefaultConfig(cobra.StrategyNoprefetch)
+		bc.Cobra = &c
+	case "excl":
+		c := cobra.DefaultConfig(cobra.StrategyExcl)
+		bc.Cobra = &c
+	case "adaptive":
+		c := cobra.DefaultConfig(cobra.StrategyAdaptive)
+		bc.Cobra = &c
+	case "bias":
+		c := cobra.DefaultConfig(cobra.StrategyBias)
+		bc.Cobra = &c
+	default:
+		return bc, fmt.Errorf("unknown strategy %q", s.Strategy)
+	}
+	return bc, nil
+}
+
+// Key is the session's content hash. It reproduces the historical
+// cobra-run job key exactly — KeyOf("cobra-run", workload, params,
+// buildConfig) — so service sessions and batch runs share one run-ledger
+// namespace.
+func (s *Spec) Key() (string, error) {
+	bc, err := s.buildConfig()
+	if err != nil {
+		return "", err
+	}
+	return sched.KeyOf("cobra-run", s.Workload, s.params(), bc), nil
+}
+
+// Name is the human-readable job label ("daxpy/t=4/smp/off").
+func (s *Spec) Name() string {
+	return fmt.Sprintf("%s/t=%d/%s/%s", s.Workload, s.Threads, s.Machine, s.Strategy)
+}
+
+// workloadKey identifies the compiled program content for the build
+// cache, using the same conventions as internal/experiment so a shared
+// cache reuses compiles across the service and sweep paths.
+func (s *Spec) workloadKey() string {
+	switch {
+	case s.Workload == "daxpy":
+		return sched.KeyOf("daxpy", s.params())
+	case s.Workload == "phased":
+		return sched.KeyOf("phased", s.params())
+	default:
+		return sched.KeyOf("npb", s.Workload, s.params())
+	}
+}
+
+// Instantiate builds the full session stack: workload program, machine
+// (cloned from the cache's pristine compiled image when cache is non-nil,
+// compiled fresh otherwise), OpenMP runtime, optional COBRA, optional
+// observer. Each call returns an independent instance — concurrent
+// sessions share no mutable state.
+func (s *Spec) Instantiate(cache *workload.BuildCache, o *obs.Observer) (*workload.Instance, error) {
+	w, err := s.buildWorkload()
+	if err != nil {
+		return nil, err
+	}
+	bc, err := s.buildConfig()
+	if err != nil {
+		return nil, err
+	}
+	bc.Obs = o
+	if cache != nil {
+		return cache.Build(s.workloadKey(), w, bc)
+	}
+	return workload.Build(w, bc)
+}
