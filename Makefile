@@ -9,9 +9,9 @@ GO ?= go
 BENCH_LABEL ?= $(shell date -u +%Y-%m-%d)
 SOAK_DURATION ?= 30s
 
-.PHONY: ci vet build race test bench bench-smoke trace-smoke fuzz-smoke soak-smoke results
+.PHONY: ci vet build race test bench bench-smoke trace-smoke fuzz-smoke strategy-smoke soak-smoke results
 
-ci: vet build race test bench-smoke trace-smoke fuzz-smoke
+ci: vet build race test bench-smoke trace-smoke fuzz-smoke strategy-smoke
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +62,14 @@ trace-smoke:
 # deterministic; a failure prints the seed to replay.
 fuzz-smoke:
 	$(GO) run ./cmd/cobra-verify -seed 1 -n 1000 -fault-every 5
+
+# Strategy-engine matrix: every registered engine (prefetch, multiversion,
+# causal) drives the phased re-adaptation workload with the decision-log
+# lifecycle audited for legality, the multiversion engine required to
+# switch a resident variant, and the causal engine required to pair its
+# what-if prediction with the realized IPC.
+strategy-smoke:
+	$(GO) test -count=1 ./internal/strategy/
 
 # Regenerate the committed experiment outputs through the scheduler.
 results:

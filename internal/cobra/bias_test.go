@@ -112,7 +112,7 @@ func TestPatcherDeploysBiasTrace(t *testing.T) {
 
 func TestStrategyBiasChoosesBias(t *testing.T) {
 	r := &Runtime{cfg: DefaultConfig(StrategyBias)}
-	rw, ok := r.chooseRewrite(&regionState{})
+	rw, ok := r.chooseRewrite(&RegionState{})
 	if !ok || rw != RewriteBias {
 		t.Fatalf("choice = %v,%v", rw, ok)
 	}

@@ -68,6 +68,12 @@ func (s Strategy) String() string {
 type Config struct {
 	Strategy Strategy
 
+	// Engine names the strategy engine from the registry ("" selects the
+	// default "prefetch" engine — the historical nop/excl/bias policy
+	// steered by Strategy). omitempty keeps scheduler/ledger content
+	// hashes of pre-engine configurations byte-stable.
+	Engine string `json:"engine,omitempty"`
+
 	// Sampling configures the perfmon driver (period, DEAR filter,
 	// per-sample overhead).
 	Sampling perfmon.Config

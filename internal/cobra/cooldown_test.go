@@ -47,7 +47,7 @@ func TestCooldownUntilMatchesEarliestRedeploy(t *testing.T) {
 		cfg:     cfg,
 		patcher: NewPatcher(img, false),
 		prof:    NewProfiler(cfg.CoherentLatency),
-		regions: map[LoopKey]*regionState{},
+		regions: map[LoopKey]*RegionState{},
 		stats:   newStatCounters(obs.NewRegistry()),
 		obs:     o,
 	}
@@ -58,7 +58,7 @@ func TestCooldownUntilMatchesEarliestRedeploy(t *testing.T) {
 	}
 	// An absurd baseline guarantees the judgement regresses: the synthetic
 	// windows retire nothing, so activeAgg.IPC() is 0.
-	r.regions[region.Key] = &regionState{patch: patch, rewrite: RewriteNop, baseline: 10}
+	r.regions[region.Key] = &RegionState{Patch: patch, Rewrite: RewriteNop, Baseline: 10}
 	// The patch bypassed deployOptimizations; record its lifecycle prefix
 	// so the replayed state machine starts from a legal deployed state.
 	o.Decisions().Record(0, uint64(region.Key.Head), 0, obs.StateCandidate, "test", obs.Evidence{})
@@ -78,14 +78,14 @@ func TestCooldownUntilMatchesEarliestRedeploy(t *testing.T) {
 					cooldownUntil = d.Evidence.CooldownUntil
 				}
 			}
-			if rolledBackAt != 0 && st.cooldown == 0 {
+			if rolledBackAt != 0 && st.Cooldown == 0 {
 				t.Fatalf("cooldown already expired in the pass that set it (cycle %d)", now)
 			}
 			continue
 		}
 		// After the pass's decrement, cooldown==0 means deployOptimizations
 		// would have accepted the region this pass.
-		if st.cooldown == 0 {
+		if st.Cooldown == 0 {
 			clearedAt = now
 			break
 		}

@@ -1,0 +1,297 @@
+package cobra
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Engine is a pluggable optimization strategy: the policy layer between
+// profiling and patching. Each optimizer pass the runtime calls Judge
+// with the fresh profile window (re-evaluate outstanding patches,
+// commit/abandon), and Propose when the coherent-pressure trigger fired
+// over the rolling horizon (generate and deploy new candidates). All
+// machine state is reached through the Control facade, so an engine can
+// live outside this package (see internal/strategy).
+type Engine interface {
+	// Name is the registry name the engine was built under.
+	Name() string
+	// Judge re-evaluates every outstanding patch against its pre-patch
+	// baselines. Called every pass, before the trigger decision.
+	Judge(c *Control, win Window, now int64)
+	// Propose reacts to a fired trigger: select regions from the horizon
+	// aggregate agg and deploy new optimizations.
+	Propose(c *Control, agg Window, now int64)
+}
+
+// EngineFactory builds an engine instance for one runtime.
+type EngineFactory func(cfg Config) Engine
+
+var engineRegistry = map[string]EngineFactory{}
+
+// RegisterEngine adds a strategy engine to the registry. The default
+// "prefetch" engine registers here; external packages (internal/strategy)
+// register theirs from init so importing the package is enough to make
+// its engines selectable by name.
+func RegisterEngine(name string, f EngineFactory) {
+	if name == "" || f == nil {
+		panic("cobra: RegisterEngine with empty name or nil factory")
+	}
+	if _, dup := engineRegistry[name]; dup {
+		panic(fmt.Sprintf("cobra: engine %q registered twice", name))
+	}
+	engineRegistry[name] = f
+}
+
+// EngineNames returns the registered engine names, sorted.
+func EngineNames() []string {
+	names := make([]string, 0, len(engineRegistry))
+	for n := range engineRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewEngine builds the named engine ("" selects the default prefetch
+// engine).
+func NewEngine(name string, cfg Config) (Engine, error) {
+	if name == "" {
+		name = "prefetch"
+	}
+	f, ok := engineRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("cobra: unknown strategy engine %q (have %v)", name, EngineNames())
+	}
+	return f(cfg), nil
+}
+
+func init() {
+	RegisterEngine("prefetch", func(Config) Engine { return prefetchEngine{} })
+}
+
+// prefetchEngine is the historical built-in policy — nop / lfetch.excl /
+// ld8.bias rewrites chosen by the Strategy precedence, destructive
+// patch/rollback lifecycle — extracted behind the Engine interface. It
+// delegates to the runtime's original evaluatePatches and
+// deployOptimizations bodies, so its behavior is bit-identical to the
+// pre-registry control loop (the results/ goldens pin this).
+type prefetchEngine struct{}
+
+func (prefetchEngine) Name() string { return "prefetch" }
+
+func (prefetchEngine) Judge(c *Control, win Window, now int64) {
+	c.r.evaluatePatches(win, now)
+}
+
+func (prefetchEngine) Propose(c *Control, agg Window, now int64) {
+	c.r.deployOptimizations(agg, now)
+}
+
+// SortLoopKeys orders loop keys by full (Head, BranchPC) identity —
+// engines must iterate candidate maps in this order so map iteration
+// never leaks into trace or decision emission.
+func SortLoopKeys(keys []LoopKey) { sortLoopKeys(keys) }
+
+// Control is the machine-state facade handed to strategy engines: the
+// profiling, analysis and patching components plus the per-region
+// adaptive state, with helpers for the bookkeeping every engine needs
+// (window accumulation, baselines, counters) so policies stay policy.
+type Control struct {
+	r *Runtime
+}
+
+// Control returns the engine facade of this runtime.
+func (r *Runtime) Control() *Control { return &Control{r: r} }
+
+// Config returns the runtime configuration.
+func (c *Control) Config() Config { return c.r.cfg }
+
+// Profiler exposes the aggregated system-wide profile.
+func (c *Control) Profiler() *Profiler { return c.r.prof }
+
+// Analyzer exposes binary analysis (regions, prefetch sites, segments).
+func (c *Control) Analyzer() *Analyzer { return c.r.analyzer }
+
+// Patcher exposes the binary patcher (in-place, trace, variant table).
+func (c *Control) Patcher() *Patcher { return c.r.patcher }
+
+// Observer returns the observability sink (nil-safe accessors).
+func (c *Control) Observer() *obs.Observer { return c.r.obs }
+
+// WindowOrdinal is the ordinal of the profiling window being processed.
+func (c *Control) WindowOrdinal() int { return c.r.windows }
+
+// GlobalIPC is the smoothed whole-program IPC baseline.
+func (c *Control) GlobalIPC() float64 { return c.r.globalEMA }
+
+// Region returns the adaptive state of a loop, creating it on first use.
+func (c *Control) Region(k LoopKey) *RegionState {
+	st := c.r.regions[k]
+	if st == nil {
+		st = &RegionState{}
+		c.r.regions[k] = st
+	}
+	return st
+}
+
+// PatchedKeys returns the keys of regions with a live patch, in address
+// order (map order must never leak into traces or decision logs).
+func (c *Control) PatchedKeys() []LoopKey {
+	var keys []LoopKey
+	for k, st := range c.r.regions {
+		if st.Patch == nil || len(st.Patch.Slots) == 0 {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sortLoopKeys(keys)
+	return keys
+}
+
+// AnyUnjudged reports whether any live patch still awaits its first
+// judgement — engines stage deployments behind it so a regressing
+// rewrite is caught before it is compounded.
+func (c *Control) AnyUnjudged() bool {
+	for _, st := range c.r.regions {
+		if st.Patch != nil && len(st.Patch.Slots) > 0 && !st.Judged {
+			return true
+		}
+	}
+	return false
+}
+
+// CandidateLoads maps each hot loop to the delinquent loads it contains
+// (§4's selection pipeline). When the trigger fired but no load could be
+// pinpointed by the DEAR, every hot loop becomes a candidate with nil
+// loads — the paper's loop-boundary fallback.
+func (c *Control) CandidateLoads() map[LoopKey][]Delinquent {
+	loops := c.r.prof.HotLoops(c.r.cfg.MinLoopSamples)
+	if len(loops) == 0 {
+		return nil
+	}
+	delinq := c.r.prof.DelinquentLoads(c.r.cfg.MinDelinquentSamples)
+	regionLoads := map[LoopKey][]Delinquent{}
+	for _, d := range delinq {
+		for _, ls := range loops {
+			if d.PC >= ls.Key.Head && d.PC <= ls.Key.BranchPC {
+				regionLoads[ls.Key] = append(regionLoads[ls.Key], d)
+				break // loops are sorted hottest-first
+			}
+		}
+	}
+	if len(regionLoads) == 0 {
+		for _, ls := range loops {
+			regionLoads[ls.Key] = nil
+		}
+	}
+	return regionLoads
+}
+
+// SelectPrefetches applies the §4 association filters for a rewrite.
+func (c *Control) SelectPrefetches(region Region, loads []Delinquent, rw Rewrite) []int {
+	return c.r.selectPrefetches(region, loads, rw)
+}
+
+// ObserveWindow folds one profile window into a patched region's
+// judgement aggregates and reports whether enough loop-active windows
+// accumulated to judge. Active windows are those in which the patched
+// loop actually ran (phase-fair comparison); the global aggregate
+// catches patches that speed their own loop while slowing a downstream
+// phase.
+func (c *Control) ObserveWindow(st *RegionState, win Window) bool {
+	st.GlobalAgg.Cycles += win.Cycles
+	st.GlobalAgg.Instr += win.Instr
+	if c.r.prof.LoopActivity(st.Patch.ActiveKey) >= c.r.cfg.MinLoopSamples {
+		st.ActiveWindows++
+		st.ActiveAgg.Samples += win.Samples
+		st.ActiveAgg.Cycles += win.Cycles
+		st.ActiveAgg.Instr += win.Instr
+		st.ActiveAgg.L2Misses += win.L2Misses
+		st.ActiveAgg.BusHitm += win.BusHitm
+	}
+	return st.ActiveWindows >= c.r.cfg.EvaluateWindows
+}
+
+// Regressed applies the rollback criterion to the accumulated judgement
+// aggregates: the patch regressed if either the loop-active IPC or the
+// whole-program IPC fell more than the tolerance below its baseline.
+func (c *Control) Regressed(st *RegionState) bool {
+	tol := c.r.cfg.RollbackTolerance
+	return st.ActiveAgg.IPC() < st.Baseline*(1-tol) ||
+		st.GlobalAgg.IPC() < st.GlobalBase*(1-tol)
+}
+
+// JudgeEvidence builds the decision-log evidence for a judgement of st.
+func (c *Control) JudgeEvidence(st *RegionState) obs.Evidence {
+	return obs.Evidence{
+		BaselineIPC:       st.Baseline,
+		PatchedIPC:        st.ActiveAgg.IPC(),
+		GlobalBaselineIPC: st.GlobalBase,
+		GlobalIPC:         st.GlobalAgg.IPC(),
+		Tolerance:         c.r.cfg.RollbackTolerance,
+		ActiveWindows:     st.ActiveWindows,
+		Rewrite:           st.Rewrite.String(),
+	}
+}
+
+// ResetJudgement marks st judged and clears the aggregates so the next
+// judgement period starts fresh.
+func (c *Control) ResetJudgement(st *RegionState) {
+	st.Judged = true
+	st.ActiveWindows = 0
+	st.ActiveAgg = Window{}
+	st.GlobalAgg = Window{}
+}
+
+// ArmJudgement (re)arms the judgement of a freshly deployed or switched
+// patch: baselines are (re)anchored on the unbiased pre-patch EMAs, with
+// the trigger window as fallback when the loop was never profiled
+// unpatched.
+func (c *Control) ArmJudgement(st *RegionState, win Window, now int64) {
+	st.Baseline = st.PreIPC
+	if st.Baseline == 0 {
+		st.Baseline = win.IPC()
+	}
+	st.GlobalBase = c.r.globalEMA
+	st.Judged = false
+	st.ActiveWindows = 0
+	st.ActiveAgg = Window{}
+	st.GlobalAgg = Window{}
+	st.DeployedAt = now
+}
+
+// ArmCooldown starts the post-rollback cooldown of st and returns the
+// cycle at which the region becomes deployable again (the CooldownUntil
+// evidence the decision log advertises).
+func (c *Control) ArmCooldown(st *RegionState, now int64) int64 {
+	st.Cooldown = c.r.cfg.EvaluateWindows
+	return now + int64(st.Cooldown)*c.r.cfg.OptimizeInterval
+}
+
+// CountDeploy charges a deployment to the activity counters.
+func (c *Control) CountDeploy(patch *Patch, rw Rewrite) {
+	c.r.stats.patchesApplied.Inc()
+	if patch.TraceEntry >= 0 {
+		c.r.stats.tracesEmitted.Inc()
+	}
+	switch rw {
+	case RewriteNop:
+		c.r.stats.prefetchesNopped.Add(int64(patch.RewrittenPrefetches))
+	case RewriteExcl:
+		c.r.stats.prefetchesExcl.Add(int64(patch.RewrittenPrefetches))
+	case RewriteBias:
+		c.r.stats.loadsBiased.Add(int64(patch.RewrittenPrefetches))
+	}
+}
+
+// CountRollback charges a rollback to the activity counters.
+func (c *Control) CountRollback() { c.r.stats.patchesRolledBack.Inc() }
+
+// CountSwitch charges a variant switch to the activity counters.
+func (c *Control) CountSwitch() { c.r.stats.variantSwitches.Inc() }
+
+// CountTraces charges n emitted code-cache traces (multi-version deploys
+// emit several per patch event).
+func (c *Control) CountTraces(n int) { c.r.stats.tracesEmitted.Add(int64(n)) }

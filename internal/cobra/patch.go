@@ -1,9 +1,25 @@
 package cobra
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/ia64"
+)
+
+// Sentinel causes of Deploy / DeployVariants / Switch failures, so
+// strategy engines and cobra-verify triage can branch on cause with
+// errors.Is instead of string matching.
+var (
+	// ErrNoRewritableSlots: no slot the rewrite applies to — the slot
+	// list was empty, or every named instruction is inapplicable (wrong
+	// opcode, or already in rewritten form).
+	ErrNoRewritableSlots = errors.New("no rewritable slots")
+	// ErrAlreadyPatched: the region entry is already redirected into the
+	// code cache; deploying again would trace the dispatch branch itself.
+	ErrAlreadyPatched = errors.New("region already patched")
+	// ErrUnknownVariant: a Switch named a variant index outside the set.
+	ErrUnknownVariant = errors.New("unknown variant")
 )
 
 // Rewrite is the kind of prefetch rewrite the optimizer applies.
@@ -104,7 +120,7 @@ func (p *Patcher) InCodeCache(pc int) bool { return pc >= p.cacheStart }
 // Deploy applies rewrite to the given lfetch slots of region r.
 func (p *Patcher) Deploy(r Region, lfetchSlots []int, rw Rewrite) (*Patch, error) {
 	if len(lfetchSlots) == 0 {
-		return nil, fmt.Errorf("cobra: nothing to rewrite in region [%d,%d]", r.Start, r.End)
+		return nil, fmt.Errorf("cobra: nothing to rewrite in region [%d,%d]: %w", r.Start, r.End, ErrNoRewritableSlots)
 	}
 	if p.useTrace {
 		return p.deployTrace(r, lfetchSlots, rw)
@@ -129,16 +145,24 @@ func (p *Patcher) deployInPlace(r Region, slots []int, rw Rewrite) (*Patch, erro
 		patch.RewrittenPrefetches++
 	}
 	if patch.RewrittenPrefetches == 0 {
-		return nil, fmt.Errorf("cobra: no applicable instruction among %d slots", len(slots))
+		return nil, fmt.Errorf("cobra: no applicable instruction among %d slots: %w", len(slots), ErrNoRewritableSlots)
 	}
 	patch.TraceEntry = -1
 	patch.ActiveKey = r.Key
 	return patch, nil
 }
 
-// deployTrace emits the optimized copy of [r.Start, r.End] into the code
-// cache and redirects r.Start to it.
-func (p *Patcher) deployTrace(r Region, slots []int, rw Rewrite) (*Patch, error) {
+// entryRedirected reports whether the region entry already dispatches
+// into patcher-emitted code.
+func (p *Patcher) entryRedirected(r Region) bool {
+	in := p.img.Fetch(r.Start)
+	return in.IsBranch() && p.InCodeCache(int(in.Imm))
+}
+
+// emitTrace builds one rewritten copy of [r.Start, r.End] and appends it
+// to the code cache, returning its variant descriptor. The region entry
+// is not redirected — deployTrace and VariantSet.Switch own dispatch.
+func (p *Patcher) emitTrace(r Region, slots []int, rw Rewrite) (Variant, error) {
 	rewriteAt := map[int]bool{}
 	for _, pc := range slots {
 		rewriteAt[pc] = true
@@ -155,7 +179,7 @@ func (p *Patcher) deployTrace(r Region, slots []int, rw Rewrite) (*Patch, error)
 		trace = append(trace, in)
 	}
 	if rewritten == 0 {
-		return nil, fmt.Errorf("cobra: no applicable instruction among %d slots", len(slots))
+		return Variant{}, fmt.Errorf("cobra: no applicable instruction among %d slots: %w", len(slots), ErrNoRewritableSlots)
 	}
 
 	p.nTraces++
@@ -173,21 +197,38 @@ func (p *Patcher) deployTrace(r Region, slots []int, rw Rewrite) (*Patch, error)
 	trace = append(trace, ia64.Instr{Op: ia64.OpBr, Br: ia64.BrAlways, Imm: int64(r.End + 1)})
 	p.img.Append(trace...)
 	p.img.AddFunc(name, entry, entry+len(trace))
-
-	// Redirect: one-word patch at the region entry.
-	old, err := p.img.Patch(r.Start, ia64.Instr{Op: ia64.OpBr, Br: ia64.BrAlways, Imm: int64(entry)})
-	if err != nil {
-		return nil, err
-	}
-	return &Patch{
-		Region: r, Rewrite: rw,
-		Slots: []int{r.Start}, saved: []ia64.Instr{old},
+	return Variant{
+		Rewrite:    rw,
 		TraceEntry: entry,
 		ActiveKey: LoopKey{
 			Head:     r.Key.Head - r.Start + entry,
 			BranchPC: r.Key.BranchPC - r.Start + entry,
 		},
 		RewrittenPrefetches: rewritten,
+	}, nil
+}
+
+// deployTrace emits the optimized copy of [r.Start, r.End] into the code
+// cache and redirects r.Start to it.
+func (p *Patcher) deployTrace(r Region, slots []int, rw Rewrite) (*Patch, error) {
+	if p.entryRedirected(r) {
+		return nil, fmt.Errorf("cobra: region [%d,%d] entry already in code cache: %w", r.Start, r.End, ErrAlreadyPatched)
+	}
+	v, err := p.emitTrace(r, slots, rw)
+	if err != nil {
+		return nil, err
+	}
+	// Redirect: one-word patch at the region entry.
+	old, err := p.img.Patch(r.Start, ia64.Instr{Op: ia64.OpBr, Br: ia64.BrAlways, Imm: int64(v.TraceEntry)})
+	if err != nil {
+		return nil, err
+	}
+	return &Patch{
+		Region: r, Rewrite: rw,
+		Slots: []int{r.Start}, saved: []ia64.Instr{old},
+		TraceEntry:          v.TraceEntry,
+		ActiveKey:           v.ActiveKey,
+		RewrittenPrefetches: v.RewrittenPrefetches,
 	}, nil
 }
 

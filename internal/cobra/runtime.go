@@ -22,6 +22,7 @@ type Stats struct {
 	PrefetchesExcl    int64
 	LoadsBiased       int64
 	TracesEmitted     int64
+	VariantSwitches   int64
 }
 
 // statCounters backs the Stats counters with the metrics registry, so a
@@ -39,6 +40,7 @@ type statCounters struct {
 	prefetchesExcl    *obs.Counter
 	loadsBiased       *obs.Counter
 	tracesEmitted     *obs.Counter
+	variantSwitches   *obs.Counter
 }
 
 func newStatCounters(reg *obs.Registry) statCounters {
@@ -52,6 +54,7 @@ func newStatCounters(reg *obs.Registry) statCounters {
 		prefetchesExcl:    reg.Counter("cobra.prefetches_excl"),
 		loadsBiased:       reg.Counter("cobra.loads_biased"),
 		tracesEmitted:     reg.Counter("cobra.traces_emitted"),
+		variantSwitches:   reg.Counter("cobra.variant_switches"),
 	}
 }
 
@@ -66,40 +69,43 @@ func (c statCounters) snapshot() Stats {
 		PrefetchesExcl:    c.prefetchesExcl.Value(),
 		LoadsBiased:       c.loadsBiased.Value(),
 		TracesEmitted:     c.tracesEmitted.Value(),
+		VariantSwitches:   c.variantSwitches.Value(),
 	}
 }
 
-// regionState tracks one optimized (or previously optimized) loop for the
-// adaptive controller.
-type regionState struct {
-	patch    *Patch
-	rewrite  Rewrite
-	baseline float64 // pre-patch IPC (loop-active windows)
-	// activeWindows counts post-patch windows in which the patched loop
-	// actually executed; activeAgg accumulates their profile. Judging only
+// RegionState tracks one optimized (or previously optimized) loop for
+// the adaptive controller. It is the evidence record strategy engines
+// judge over; engine-specific state (variant tables, predictions) lives
+// in the engines themselves, keyed by LoopKey.
+type RegionState struct {
+	Patch    *Patch
+	Rewrite  Rewrite
+	Baseline float64 // pre-patch IPC (loop-active windows)
+	// ActiveWindows counts post-patch windows in which the patched loop
+	// actually executed; ActiveAgg accumulates their profile. Judging only
 	// loop-active windows keeps the before/after comparison phase-fair in
-	// programs that alternate kernels. globalAgg accumulates every
+	// programs that alternate kernels. GlobalAgg accumulates every
 	// post-patch window, catching patches that speed up their own loop
 	// while slowing a downstream phase (e.g. removed prefetches that had
 	// been warming the next kernel's data).
-	activeWindows int
-	activeAgg     Window
-	globalAgg     Window
-	globalBase    float64 // pre-patch whole-program IPC
-	// preIPC is an exponential moving average of whole-window IPC over
+	ActiveWindows int
+	ActiveAgg     Window
+	GlobalAgg     Window
+	GlobalBase    float64 // pre-patch whole-program IPC
+	// PreIPC is an exponential moving average of whole-window IPC over
 	// the windows in which this loop ran, maintained while the loop is
 	// unpatched. It is the unbiased baseline a deployed patch is judged
 	// against — the trigger windows themselves are the program's worst
 	// moments and would flatter any patch.
-	preIPC    float64
-	judged    bool // at least one post-deployment judgement happened
-	triedNop  bool
-	triedExcl bool
-	blocked   bool // regressed under a fixed strategy: never re-patch
-	cooldown  int
-	// deployedAt is the cycle the current patch was deployed — the start
+	PreIPC    float64
+	Judged    bool // at least one post-deployment judgement happened
+	TriedNop  bool
+	TriedExcl bool
+	Blocked   bool // regressed under a fixed strategy: never re-patch
+	Cooldown  int
+	// DeployedAt is the cycle the current patch was deployed — the start
 	// of the patch-active span in the trace.
-	deployedAt int64
+	DeployedAt int64
 }
 
 // Runtime is one COBRA instance attached to a running machine: the
@@ -115,7 +121,12 @@ type Runtime struct {
 	analyzer *Analyzer
 	patcher  *Patcher
 
-	regions   map[LoopKey]*regionState
+	// engine is the strategy engine driving judgement and deployment.
+	// Nil (hand-built test Runtimes) lazily defaults to the prefetch
+	// engine, the pre-registry behavior.
+	engine Engine
+
+	regions   map[LoopKey]*RegionState
 	horizon   []Window
 	globalEMA float64 // smoothed whole-program IPC
 	stats     statCounters
@@ -165,10 +176,17 @@ func New(m *machine.Machine, cfg Config) *Runtime {
 		prof:     NewProfiler(cfg.CoherentLatency),
 		analyzer: NewAnalyzer(m.Image(), m.Memory()),
 		patcher:  NewPatcher(m.Image(), cfg.UseTraceCache),
-		regions:  map[LoopKey]*regionState{},
+		regions:  map[LoopKey]*RegionState{},
 		stats:    newStatCounters(reg),
 		obs:      cfg.Obs,
 	}
+	eng, err := NewEngine(cfg.Engine, cfg)
+	if err != nil {
+		// Engine names are validated at the serve/CLI boundary; reaching
+		// here with an unknown name is a programming error.
+		panic(err)
+	}
+	r.engine = eng
 	r.driver.SetObserver(cfg.Obs)
 	m.AddTimer(&machine.Timer{
 		NextAt: cfg.OptimizeInterval,
@@ -214,8 +232,8 @@ func (r *Runtime) Explain() string {
 func (r *Runtime) ActivePatches() []*Patch {
 	var out []*Patch
 	for _, st := range r.regions {
-		if st.patch != nil && len(st.patch.Slots) > 0 {
-			out = append(out, st.patch)
+		if st.Patch != nil && len(st.Patch.Slots) > 0 {
+			out = append(out, st.Patch)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -253,6 +271,15 @@ func (r *Runtime) MonitorThread(tid, cpu int) {
 	r.driver.Attach(cpu, u.Push)
 }
 
+// engineOrDefault resolves the strategy engine, defaulting hand-built
+// Runtimes (unit tests) to the prefetch engine New would have selected.
+func (r *Runtime) engineOrDefault() Engine {
+	if r.engine == nil {
+		r.engine = prefetchEngine{}
+	}
+	return r.engine
+}
+
 // optimizePass is the optimization thread's periodic body: drain USBs,
 // aggregate the system-wide profile, evaluate outstanding patches, and
 // deploy new optimizations when coherent pressure warrants.
@@ -268,8 +295,8 @@ func (r *Runtime) optimizePass(now int64) {
 	// the full N — the earliest redeploy pass now lands exactly on
 	// CooldownUntil.
 	for _, st := range r.regions {
-		if st.cooldown > 0 {
-			st.cooldown--
+		if st.Cooldown > 0 {
+			st.Cooldown--
 		}
 	}
 
@@ -319,14 +346,14 @@ func (r *Runtime) optimizePass(now int64) {
 	for _, ls := range r.prof.HotLoops(r.cfg.MinLoopSamples) {
 		st := r.regions[ls.Key]
 		if st == nil {
-			st = &regionState{}
+			st = &RegionState{}
 			r.regions[ls.Key] = st
 		}
-		if st.patch == nil && win.Cycles > 0 {
-			if st.preIPC == 0 {
-				st.preIPC = win.IPC()
+		if st.Patch == nil && win.Cycles > 0 {
+			if st.PreIPC == 0 {
+				st.PreIPC = win.IPC()
 			} else {
-				st.preIPC = (1-emaAlpha)*st.preIPC + emaAlpha*win.IPC()
+				st.PreIPC = (1-emaAlpha)*st.PreIPC + emaAlpha*win.IPC()
 			}
 		}
 	}
@@ -334,10 +361,13 @@ func (r *Runtime) optimizePass(now int64) {
 	// Continuous re-adaptation: every outstanding patch is periodically
 	// re-judged against its pre-patch baseline metric and rolled back on
 	// regression, whichever strategy deployed it. Only windows in which
-	// the patched loop actually ran count towards the judgement. Fixed
-	// strategies blacklist a rolled-back region; adaptive mode escalates
-	// to the other rewrite.
-	r.evaluatePatches(win, now)
+	// the patched loop actually ran count towards the judgement. The
+	// policy is the strategy engine's: the default prefetch engine
+	// blacklists a rolled-back region under fixed strategies and
+	// escalates to the other rewrite in adaptive mode.
+	eng := r.engineOrDefault()
+	ctl := r.Control()
+	eng.Judge(ctl, win, now)
 
 	evaluated := len(r.horizon) == triggerHorizon && agg.Samples > 0
 	fired := evaluated &&
@@ -352,7 +382,7 @@ func (r *Runtime) optimizePass(now int64) {
 	if fired {
 		r.stats.triggers.Inc()
 		if r.cfg.Strategy != StrategyOff {
-			r.deployOptimizations(agg, now)
+			eng.Propose(ctl, agg, now)
 		}
 	}
 
@@ -391,7 +421,7 @@ func (r *Runtime) evaluatePatches(win Window, now int64) {
 	// per-region independent, so ordering cannot change outcomes).
 	var keys []LoopKey
 	for k, st := range r.regions {
-		if st.patch == nil || len(st.patch.Slots) == 0 {
+		if st.Patch == nil || len(st.Patch.Slots) == 0 {
 			continue
 		}
 		keys = append(keys, k)
@@ -403,51 +433,29 @@ func (r *Runtime) evaluatePatches(win Window, now int64) {
 	tr := r.obs.Trace()
 	dl := r.obs.Decisions()
 
+	ctl := r.Control()
 	for _, k := range keys {
 		st := r.regions[k]
-		st.globalAgg.Cycles += win.Cycles
-		st.globalAgg.Instr += win.Instr
-		if r.prof.LoopActivity(st.patch.ActiveKey) >= r.cfg.MinLoopSamples {
-			st.activeWindows++
-			st.activeAgg.Samples += win.Samples
-			st.activeAgg.Cycles += win.Cycles
-			st.activeAgg.Instr += win.Instr
-			st.activeAgg.L2Misses += win.L2Misses
-			st.activeAgg.BusHitm += win.BusHitm
-		}
-		if st.activeWindows < r.cfg.EvaluateWindows {
+		if !ctl.ObserveWindow(st, win) {
 			continue
 		}
-		regressed := st.activeAgg.IPC() < st.baseline*(1-r.cfg.RollbackTolerance) ||
-			st.globalAgg.IPC() < st.globalBase*(1-r.cfg.RollbackTolerance)
+		regressed := ctl.Regressed(st)
 		var ev obs.Evidence
 		if tr != nil || dl != nil {
-			ev = obs.Evidence{
-				BaselineIPC:       st.baseline,
-				PatchedIPC:        st.activeAgg.IPC(),
-				GlobalBaselineIPC: st.globalBase,
-				GlobalIPC:         st.globalAgg.IPC(),
-				Tolerance:         r.cfg.RollbackTolerance,
-				ActiveWindows:     st.activeWindows,
-				Rewrite:           st.rewrite.String(),
-			}
+			ev = ctl.JudgeEvidence(st)
 		}
-		st.judged = true
-		st.activeWindows = 0 // keep judging periodically
-		st.activeAgg = Window{}
-		st.globalAgg = Window{}
+		ctl.ResetJudgement(st) // keep judging periodically
 		if regressed {
 			// Regression: roll the patch back and remember what failed so
 			// re-adaptation can escalate to the other rewrite.
-			if err := r.patcher.Rollback(st.patch); err == nil {
+			if err := r.patcher.Rollback(st.Patch); err == nil {
 				r.stats.patchesRolledBack.Inc()
 			}
-			st.patch = nil
-			st.cooldown = r.cfg.EvaluateWindows
-			ev.CooldownUntil = now + int64(st.cooldown)*r.cfg.OptimizeInterval
+			st.Patch = nil
+			ev.CooldownUntil = ctl.ArmCooldown(st, now)
 			if tr != nil {
 				tr.Span("patch", fmt.Sprintf("active %s @%#x", ev.Rewrite, k.Head),
-					obs.TIDPatch, st.deployedAt, now, map[string]any{"region": k.Head})
+					obs.TIDPatch, st.DeployedAt, now, map[string]any{"region": k.Head})
 				tr.Instant("patch", fmt.Sprintf("rolled back @%#x", k.Head),
 					obs.TIDPatch, now, map[string]any{
 						"region": k.Head, "baseline_ipc": ev.BaselineIPC,
@@ -456,7 +464,7 @@ func (r *Runtime) evaluatePatches(win Window, now int64) {
 			}
 			dl.Record(now, uint64(k.Head), r.windows, obs.StateRolledBack, "regressed", ev)
 			if r.cfg.Strategy != StrategyAdaptive {
-				st.blocked = true // fixed strategy: leave the loop alone
+				st.Blocked = true // fixed strategy: leave the loop alone
 				dl.Record(now, uint64(k.Head), r.windows, obs.StateBlocked, "fixed_strategy", ev)
 				if tr != nil {
 					tr.Instant("patch", fmt.Sprintf("blocked @%#x", k.Head),
@@ -483,45 +491,22 @@ func (r *Runtime) evaluatePatches(win Window, now int64) {
 // deployOptimizations implements §4's selection pipeline. win is the
 // trigger-horizon aggregate; now anchors trace events and decisions.
 func (r *Runtime) deployOptimizations(win Window, now int64) {
-	loops := r.prof.HotLoops(r.cfg.MinLoopSamples)
-	if len(loops) == 0 {
-		return
-	}
-	delinq := r.prof.DelinquentLoads(r.cfg.MinDelinquentSamples)
-
-	// Map each delinquent load to the hottest loop containing it, and
-	// remember which data segments its misses touch.
-	regionLoads := map[LoopKey][]Delinquent{}
-	for _, d := range delinq {
-		for _, ls := range loops {
-			if d.PC >= ls.Key.Head && d.PC <= ls.Key.BranchPC {
-				regionLoads[ls.Key] = append(regionLoads[ls.Key], d)
-				break // loops are sorted hottest-first
-			}
-		}
-	}
-
+	ctl := r.Control()
 	// DEAR pinpoints coherent misses on the load side; sharing induced
 	// purely by prefetch/store traffic (DAXPY's boundary pathology) shows
-	// up in the BUS_* counters but not in the DEAR. When the trigger
-	// fired yet no load could be pinpointed, fall back to the paper's
-	// loop-boundary heuristic: optimize prefetches in the hot loops
-	// themselves (binary analysis still restricts the rewrite to the
-	// right arrays).
+	// up in the BUS_* counters but not in the DEAR — CandidateLoads falls
+	// back to the paper's loop-boundary heuristic in that case.
+	regionLoads := ctl.CandidateLoads()
 	if len(regionLoads) == 0 {
-		for _, ls := range loops {
-			regionLoads[ls.Key] = nil
-		}
+		return
 	}
 
 	// Stage deployment: while any patch is still awaiting its evaluation
 	// windows, hold off on new ones, and never deploy more than a couple
 	// per pass — a regressing rewrite must be caught and rolled back
 	// before it is compounded across the whole program.
-	for _, st := range r.regions {
-		if st.patch != nil && len(st.patch.Slots) > 0 && !st.judged {
-			return
-		}
+	if ctl.AnyUnjudged() {
+		return
 	}
 	const maxDeploysPerPass = 2
 	deployed := 0
@@ -546,13 +531,13 @@ func (r *Runtime) deployOptimizations(win Window, now int64) {
 		}
 		st := r.regions[k]
 		if st == nil {
-			st = &regionState{}
+			st = &RegionState{}
 			r.regions[k] = st
 		}
-		if st.patch != nil && len(st.patch.Slots) > 0 {
+		if st.Patch != nil && len(st.Patch.Slots) > 0 {
 			continue // already optimized
 		}
-		if st.cooldown > 0 {
+		if st.Cooldown > 0 {
 			continue
 		}
 		rw, ok := r.chooseRewrite(st)
@@ -604,36 +589,20 @@ func (r *Runtime) deployOptimizations(win Window, now int64) {
 		if err != nil {
 			continue
 		}
-		st.patch = patch
-		st.rewrite = rw
-		st.baseline = st.preIPC
-		if st.baseline == 0 {
-			st.baseline = win.IPC()
-		}
-		st.globalBase = r.globalEMA
-		st.judged = false
-		st.activeWindows = 0
-		st.activeAgg = Window{}
-		st.globalAgg = Window{}
-		st.deployedAt = now
+		st.Patch = patch
+		st.Rewrite = rw
+		ctl.ArmJudgement(st, win, now)
 		deployed++
-		r.stats.patchesApplied.Inc()
-		if patch.TraceEntry >= 0 {
-			r.stats.tracesEmitted.Inc()
-		}
+		ctl.CountDeploy(patch, rw)
 		switch rw {
 		case RewriteNop:
-			r.stats.prefetchesNopped.Add(int64(patch.RewrittenPrefetches))
-			st.triedNop = true
+			st.TriedNop = true
 		case RewriteExcl:
-			r.stats.prefetchesExcl.Add(int64(patch.RewrittenPrefetches))
-			st.triedExcl = true
-		case RewriteBias:
-			r.stats.loadsBiased.Add(int64(patch.RewrittenPrefetches))
+			st.TriedExcl = true
 		}
 		if tr != nil || dl != nil {
-			ev.BaselineIPC = st.baseline
-			ev.GlobalBaselineIPC = st.globalBase
+			ev.BaselineIPC = st.Baseline
+			ev.GlobalBaselineIPC = st.GlobalBase
 			dl.Record(now, uint64(k.Head), r.windows, obs.StateDeployed, "deploy", ev)
 			if tr != nil {
 				tr.Instant("patch", fmt.Sprintf("deployed %s @%#x", ev.Rewrite, k.Head),
@@ -641,7 +610,7 @@ func (r *Runtime) deployOptimizations(win Window, now int64) {
 						"region": k.Head, "slots": len(patch.Slots),
 						"rewritten": patch.RewrittenPrefetches,
 						"trace":     patch.TraceEntry >= 0,
-						"baseline_ipc": st.baseline,
+						"baseline_ipc": st.Baseline,
 					})
 			}
 		}
@@ -651,8 +620,8 @@ func (r *Runtime) deployOptimizations(win Window, now int64) {
 // chooseRewrite picks the rewrite for a region under the configured
 // strategy. Adaptive mode tries noprefetch first and escalates to
 // lfetch.excl after a rollback.
-func (r *Runtime) chooseRewrite(st *regionState) (Rewrite, bool) {
-	if st.blocked {
+func (r *Runtime) chooseRewrite(st *RegionState) (Rewrite, bool) {
+	if st.Blocked {
 		return 0, false
 	}
 	switch r.cfg.Strategy {
@@ -661,10 +630,10 @@ func (r *Runtime) chooseRewrite(st *regionState) (Rewrite, bool) {
 	case StrategyExcl:
 		return RewriteExcl, true
 	case StrategyAdaptive:
-		if !st.triedNop {
+		if !st.TriedNop {
 			return RewriteNop, true
 		}
-		if !st.triedExcl {
+		if !st.TriedExcl {
 			return RewriteExcl, true
 		}
 		return 0, false

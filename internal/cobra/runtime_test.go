@@ -32,17 +32,17 @@ func (c *fakeContext) ChargeCycles(cpu int, n int64) {}
 
 func TestChooseRewriteEscalation(t *testing.T) {
 	r := &Runtime{cfg: DefaultConfig(StrategyAdaptive)}
-	st := &regionState{}
+	st := &RegionState{}
 	rw, ok := r.chooseRewrite(st)
 	if !ok || rw != RewriteNop {
 		t.Fatalf("first choice = %v,%v, want nop", rw, ok)
 	}
-	st.triedNop = true
+	st.TriedNop = true
 	rw, ok = r.chooseRewrite(st)
 	if !ok || rw != RewriteExcl {
 		t.Fatalf("second choice = %v,%v, want excl", rw, ok)
 	}
-	st.triedExcl = true
+	st.TriedExcl = true
 	if _, ok := r.chooseRewrite(st); ok {
 		t.Fatal("third choice should be exhausted")
 	}
@@ -51,7 +51,7 @@ func TestChooseRewriteEscalation(t *testing.T) {
 func TestChooseRewriteBlockedRegion(t *testing.T) {
 	for _, s := range []Strategy{StrategyNoprefetch, StrategyExcl, StrategyAdaptive} {
 		r := &Runtime{cfg: DefaultConfig(s)}
-		st := &regionState{blocked: true}
+		st := &RegionState{Blocked: true}
 		if _, ok := r.chooseRewrite(st); ok {
 			t.Fatalf("strategy %v patched a blocked region", s)
 		}
@@ -60,15 +60,15 @@ func TestChooseRewriteBlockedRegion(t *testing.T) {
 
 func TestChooseRewriteFixedStrategies(t *testing.T) {
 	rNop := &Runtime{cfg: DefaultConfig(StrategyNoprefetch)}
-	if rw, ok := rNop.chooseRewrite(&regionState{}); !ok || rw != RewriteNop {
+	if rw, ok := rNop.chooseRewrite(&RegionState{}); !ok || rw != RewriteNop {
 		t.Fatal("noprefetch strategy must choose nop")
 	}
 	rExcl := &Runtime{cfg: DefaultConfig(StrategyExcl)}
-	if rw, ok := rExcl.chooseRewrite(&regionState{}); !ok || rw != RewriteExcl {
+	if rw, ok := rExcl.chooseRewrite(&RegionState{}); !ok || rw != RewriteExcl {
 		t.Fatal("excl strategy must choose excl")
 	}
 	rOff := &Runtime{cfg: DefaultConfig(StrategyOff)}
-	if _, ok := rOff.chooseRewrite(&regionState{}); ok {
+	if _, ok := rOff.chooseRewrite(&RegionState{}); ok {
 		t.Fatal("off strategy chose a rewrite")
 	}
 }
@@ -100,7 +100,7 @@ func TestTriggerHorizonSuppressesClusters(t *testing.T) {
 		driver:  perfmon.NewDriver(perfmon.DefaultConfig(), ctx),
 		usbs:    make([]*USB, 1),
 		prof:    NewProfiler(180),
-		regions: map[LoopKey]*regionState{},
+		regions: map[LoopKey]*RegionState{},
 		stats:   newStatCounters(obs.NewRegistry()),
 	}
 	r.usbs[0] = &USB{CPU: 0}

@@ -1,0 +1,125 @@
+package cobra
+
+import (
+	"fmt"
+
+	"repro/internal/ia64"
+)
+
+// VariantSpec names one rewrite of a region for DeployVariants.
+type VariantSpec struct {
+	Rewrite Rewrite
+	// Slots are the instruction addresses the rewrite targets (the same
+	// selection Deploy takes).
+	Slots []int
+}
+
+// Variant is one resident rewritten copy of a region in the code cache.
+type Variant struct {
+	Rewrite Rewrite
+	// TraceEntry is the code-cache entry of this copy.
+	TraceEntry int
+	// ActiveKey is the loop key the copy reports through the BTB while
+	// dispatched (trace-relative relocation of the region key).
+	ActiveKey LoopKey
+	// RewrittenPrefetches counts instructions changed in this copy.
+	RewrittenPrefetches int
+}
+
+// VariantSet is a multi-version patch (Meng et al., profile-guided
+// multi-version binary rewriting): several rewrites of one region live
+// in the code cache at once, and the controller moves between them — or
+// back to the original code — by repointing the single dispatch branch
+// at the region entry. A phase change costs one one-word patch instead
+// of a rollback + redeploy cycle through the patch journal.
+type VariantSet struct {
+	Region   Region
+	Variants []Variant
+	// active is the dispatched variant index, -1 when the entry runs the
+	// original code.
+	active int
+	// entrySaved is the original region-entry instruction, restored on
+	// Switch(-1).
+	entrySaved ia64.Instr
+}
+
+// Active returns the dispatched variant index (-1 = original code).
+func (vs *VariantSet) Active() int { return vs.active }
+
+// ActiveVariant returns the dispatched variant, or nil at the original.
+func (vs *VariantSet) ActiveVariant() *Variant {
+	if vs.active < 0 {
+		return nil
+	}
+	return &vs.Variants[vs.active]
+}
+
+// ActivePatch renders the current dispatch as a *Patch so the resident
+// variant plugs into the RegionState / trace-span machinery patches use.
+// Nil when the original code is dispatched.
+func (vs *VariantSet) ActivePatch() *Patch {
+	v := vs.ActiveVariant()
+	if v == nil {
+		return nil
+	}
+	return &Patch{
+		Region:  vs.Region,
+		Rewrite: v.Rewrite,
+		Slots:   []int{vs.Region.Start},
+		saved:   []ia64.Instr{vs.entrySaved},
+
+		TraceEntry:          v.TraceEntry,
+		ActiveKey:           v.ActiveKey,
+		RewrittenPrefetches: v.RewrittenPrefetches,
+	}
+}
+
+// DeployVariants emits every spec's rewritten copy of region r into the
+// code cache, resident but undispatched: the set starts at the original
+// code (Active() == -1) and Switch engages a variant. Requires trace
+// mode — resident variants have nowhere to live in an in-place patcher.
+func (p *Patcher) DeployVariants(r Region, specs []VariantSpec) (*VariantSet, error) {
+	if !p.useTrace {
+		return nil, fmt.Errorf("cobra: variant table requires the trace cache")
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cobra: empty variant table for region [%d,%d]: %w", r.Start, r.End, ErrNoRewritableSlots)
+	}
+	if p.entryRedirected(r) {
+		return nil, fmt.Errorf("cobra: region [%d,%d] entry already in code cache: %w", r.Start, r.End, ErrAlreadyPatched)
+	}
+	vs := &VariantSet{Region: r, active: -1, entrySaved: p.img.Fetch(r.Start)}
+	for _, spec := range specs {
+		v, err := p.emitTrace(r, spec.Slots, spec.Rewrite)
+		if err != nil {
+			// Earlier copies stay in the cache unreachable, exactly like
+			// rolled-back traces; dispatch was never touched.
+			return nil, fmt.Errorf("cobra: variant %s: %w", spec.Rewrite, err)
+		}
+		vs.Variants = append(vs.Variants, v)
+	}
+	return vs, nil
+}
+
+// Switch repoints the region's dispatch branch at variant idx, or back
+// to the original code for idx -1. Switching to the already-active
+// target is a no-op. Each actual switch is a single one-word patch of
+// the entry slot — one patch-journal record, one slot for SyncDecode to
+// replay.
+func (p *Patcher) Switch(vs *VariantSet, idx int) error {
+	if idx < -1 || idx >= len(vs.Variants) {
+		return fmt.Errorf("cobra: variant %d of %d: %w", idx, len(vs.Variants), ErrUnknownVariant)
+	}
+	if idx == vs.active {
+		return nil
+	}
+	in := vs.entrySaved
+	if idx >= 0 {
+		in = ia64.Instr{Op: ia64.OpBr, Br: ia64.BrAlways, Imm: int64(vs.Variants[idx].TraceEntry)}
+	}
+	if _, err := p.img.Patch(vs.Region.Start, in); err != nil {
+		return err
+	}
+	vs.active = idx
+	return nil
+}

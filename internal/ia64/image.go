@@ -221,23 +221,35 @@ func (im *Image) Patch(pc int, in Instr) (Instr, error) {
 // otherwise the whole image is fetched. Callers should test Generation()
 // != have first — that check is lock-free.
 func (im *Image) SyncDecode(dst []Instr, have uint64) ([]Instr, uint64) {
+	dst, gen, _ := im.SyncDecodeStats(dst, have)
+	return dst, gen
+}
+
+// SyncDecodeStats is SyncDecode with re-decode accounting: the third
+// result is the number of patched slots replayed from the journal, or -1
+// when the journal no longer covered the gap and the whole image was
+// refetched. A resident-variant switch (one entry-slot repoint) must
+// report exactly 1 — the cost model multi-version patching is built on.
+func (im *Image) SyncDecodeStats(dst []Instr, have uint64) ([]Instr, uint64, int) {
 	im.mu.RLock()
 	defer im.mu.RUnlock()
 	gen := im.gen.Load()
 	if gen == have && len(dst) == len(im.dec) {
-		return dst, gen
+		return dst, gen, 0
 	}
 	if have >= im.plogBase && len(dst) <= len(im.dec) {
+		redecoded := 0
 		for _, p := range im.plog {
 			if p.gen > have && p.pc < len(dst) {
 				dst[p.pc] = im.dec[p.pc]
+				redecoded++
 			}
 		}
 		dst = append(dst, im.dec[len(dst):]...)
-		return dst, gen
+		return dst, gen, redecoded
 	}
 	dst = append(dst[:0], im.dec...)
-	return dst, gen
+	return dst, gen, -1
 }
 
 // PatchWords rewrites slot pc with raw words, validating them first. It is

@@ -349,6 +349,67 @@ func TestSyncDecodeCopiesAppendedTail(t *testing.T) {
 	_ = gen
 }
 
+// TestSyncDecodeStatsCountsReplayedSlots pins the incremental-cost
+// contract multi-version patching relies on: a variant switch is one
+// entry-slot repoint, so a decode cache catches up by replaying exactly
+// one journaled slot — and a cache that fell behind the journal reports
+// the full-refetch sentinel instead.
+func TestSyncDecodeStatsCountsReplayedSlots(t *testing.T) {
+	img := NewImage()
+	for i := 0; i < 16; i++ {
+		img.Append(Instr{Op: OpAddI, R1: uint8(i), R2: uint8(i), Imm: int64(i)})
+	}
+	dec, gen := syncAll(img)
+
+	// Up to date: nothing replayed.
+	dec, gen, n := img.SyncDecodeStats(dec, gen)
+	if n != 0 {
+		t.Fatalf("up-to-date sync replayed %d slots, want 0", n)
+	}
+
+	// One dispatch-branch repoint (what VariantSet.Switch does).
+	if _, err := img.Patch(0, Instr{Op: OpBr, Br: BrAlways, Imm: 8}); err != nil {
+		t.Fatal(err)
+	}
+	dec, gen, n = img.SyncDecodeStats(dec, gen)
+	if n != 1 {
+		t.Fatalf("variant switch replayed %d slots, want exactly 1", n)
+	}
+	if dec[0] != img.Fetch(0) {
+		t.Fatal("replayed slot is stale")
+	}
+
+	// Two switches between syncs: two replayed slots (same pc journaled
+	// twice counts per record — the journal is a log, not a set).
+	if _, err := img.Patch(0, Instr{Op: OpBr, Br: BrAlways, Imm: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.Patch(3, Instr{Op: OpNop}); err != nil {
+		t.Fatal(err)
+	}
+	dec, gen, n = img.SyncDecodeStats(dec, gen)
+	if n != 2 {
+		t.Fatalf("two patches replayed %d slots, want 2", n)
+	}
+
+	// Journal overflow: full refetch reported as -1.
+	for i := 0; i < plogMax+200; i++ {
+		if _, err := img.Patch(i%16, Instr{Op: OpMovI, R1: uint8(i % 4), Imm: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, gen, n = img.SyncDecodeStats(dec, gen)
+	if n != -1 {
+		t.Fatalf("overflowed journal replayed %d, want -1 (full refetch)", n)
+	}
+	for pc := 0; pc < 16; pc++ {
+		if dec[pc] != img.Fetch(pc) {
+			t.Fatalf("slot %d stale after full refetch", pc)
+		}
+	}
+	_ = gen
+}
+
 func TestSyncDecodeJournalOverflowFallsBackToFullFetch(t *testing.T) {
 	img := NewImage()
 	for i := 0; i < 8; i++ {

@@ -9,7 +9,10 @@ import (
 // PatchState is one state of the patch lifecycle state machine that the
 // COBRA runtime walks per region: Candidate → Deployed → judged →
 // Kept / RolledBack, with RolledBack regions either re-entering as a
-// Candidate under an escalated rewrite or ending Blocked.
+// Candidate under an escalated rewrite or ending Blocked. Multi-version
+// strategies add Switched: the dispatch branch of a region with several
+// resident variants flipped to a different variant (or re-engaged a
+// resident variant after a rollback) without a patch/rollback cycle.
 type PatchState string
 
 const (
@@ -26,12 +29,19 @@ const (
 	// StateBlocked: the region exhausted its rewrites and is barred from
 	// further patching.
 	StateBlocked PatchState = "blocked"
+	// StateSwitched: the region's dispatch branch moved to another
+	// resident variant (multi-version patching) — a one-slot repoint,
+	// not a rollback + redeploy.
+	StateSwitched PatchState = "switched"
 )
 
 // LegalTransition reports whether the lifecycle may move from to next.
 // An empty from means the region is entering the lifecycle (only
 // candidate is legal). Kept patches are re-judged every evaluation
-// horizon, so kept→kept and kept→rolled_back are legal.
+// horizon, so kept→kept and kept→rolled_back are legal. Switched is
+// judged exactly like Deployed, can chain (variant after variant), and
+// a RolledBack region with resident variants may re-engage one
+// (rolled_back→switched) instead of redeploying.
 func LegalTransition(from, to PatchState) bool {
 	switch from {
 	case "":
@@ -39,11 +49,13 @@ func LegalTransition(from, to PatchState) bool {
 	case StateCandidate:
 		return to == StateDeployed || to == StateCandidate
 	case StateDeployed:
-		return to == StateKept || to == StateRolledBack
+		return to == StateKept || to == StateRolledBack || to == StateSwitched
 	case StateKept:
-		return to == StateKept || to == StateRolledBack
+		return to == StateKept || to == StateRolledBack || to == StateSwitched
+	case StateSwitched:
+		return to == StateKept || to == StateRolledBack || to == StateSwitched
 	case StateRolledBack:
-		return to == StateCandidate || to == StateBlocked
+		return to == StateCandidate || to == StateBlocked || to == StateSwitched
 	case StateBlocked:
 		return false
 	}
@@ -76,6 +88,17 @@ type Evidence struct {
 	CooldownUntil int64 `json:"cooldown_until,omitempty"`
 	// Rewrite names the rewrite kind in effect (nop/excl/bias...).
 	Rewrite string `json:"rewrite,omitempty"`
+	// PredictedIPC / PredictedDelta record a causal what-if experiment:
+	// the whole-program IPC the strategy predicted the patch would reach,
+	// and the predicted absolute delta over baseline. Judged decisions on
+	// the same region carry them forward so Explain can show
+	// predicted-vs-actual.
+	PredictedIPC   float64 `json:"predicted_ipc,omitempty"`
+	PredictedDelta float64 `json:"predicted_delta,omitempty"`
+	// Variant / Variants describe multi-version patching: which resident
+	// variant the dispatch branch points at, and how many are resident.
+	Variant  string `json:"variant,omitempty"`
+	Variants int    `json:"variants,omitempty"`
 }
 
 // Decision is one entry of the patch-decision audit trail.
@@ -197,12 +220,26 @@ func (l *DecisionLog) Explain(w io.Writer) error {
 			}
 			b.WriteString("\n")
 		}
+		if ev.Variant != "" {
+			fmt.Fprintf(&b, "      variant=%s resident=%d\n", ev.Variant, ev.Variants)
+		} else if ev.Variants > 0 {
+			fmt.Fprintf(&b, "      resident=%d\n", ev.Variants)
+		}
 		if ev.BusHitm > 0 || ev.CoherentShare > 0 {
 			fmt.Fprintf(&b, "      trigger: coherent_share=%.4f bus_hitm=%d\n", ev.CoherentShare, ev.BusHitm)
 		}
 		if ev.BaselineIPC > 0 || ev.PatchedIPC > 0 {
 			fmt.Fprintf(&b, "      ipc: baseline=%.4f patched=%.4f global=%.4f->%.4f tol=%.2f%%\n",
 				ev.BaselineIPC, ev.PatchedIPC, ev.GlobalBaselineIPC, ev.GlobalIPC, ev.Tolerance*100)
+		}
+		if ev.PredictedIPC > 0 {
+			if ev.PatchedIPC > 0 {
+				fmt.Fprintf(&b, "      what-if: predicted=%.4f (+%.4f) actual=%.4f\n",
+					ev.PredictedIPC, ev.PredictedDelta, ev.PatchedIPC)
+			} else {
+				fmt.Fprintf(&b, "      what-if: predicted=%.4f (+%.4f)\n",
+					ev.PredictedIPC, ev.PredictedDelta)
+			}
 		}
 		if ev.CooldownUntil > 0 {
 			fmt.Fprintf(&b, "      cooldown_until=%d\n", ev.CooldownUntil)

@@ -222,6 +222,12 @@ func TestLegalTransitions(t *testing.T) {
 		{StateKept, StateRolledBack},
 		{StateRolledBack, StateCandidate},
 		{StateRolledBack, StateBlocked},
+		{StateDeployed, StateSwitched},
+		{StateKept, StateSwitched},
+		{StateSwitched, StateSwitched},
+		{StateSwitched, StateKept},
+		{StateSwitched, StateRolledBack},
+		{StateRolledBack, StateSwitched},
 	}
 	for _, tc := range legal {
 		if !LegalTransition(tc[0], tc[1]) {
@@ -239,6 +245,11 @@ func TestLegalTransitions(t *testing.T) {
 		{StateRolledBack, StateDeployed},
 		{StateBlocked, StateCandidate},
 		{StateBlocked, StateBlocked},
+		{"", StateSwitched},
+		{StateCandidate, StateSwitched},
+		{StateSwitched, StateCandidate},
+		{StateSwitched, StateBlocked},
+		{StateBlocked, StateSwitched},
 	}
 	for _, tc := range illegal {
 		if LegalTransition(tc[0], tc[1]) {

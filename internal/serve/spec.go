@@ -7,6 +7,7 @@ import (
 	"repro/internal/npb"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	_ "repro/internal/strategy" // register the multiversion and causal engines
 	"repro/internal/workload"
 )
 
@@ -26,8 +27,9 @@ type Spec struct {
 	// Machine is smp (front-side bus) or numa (Altix-like); empty
 	// defaults to smp.
 	Machine string `json:"machine,omitempty"`
-	// Strategy is off, monitor, noprefetch, excl, adaptive or bias;
-	// empty defaults to off.
+	// Strategy is off, monitor, noprefetch, excl, adaptive or bias, or
+	// one of the pluggable engines (multiversion, causal) which run the
+	// adaptive trigger under that strategy engine; empty defaults to off.
 	Strategy string `json:"strategy,omitempty"`
 	// ClassS selects class-S-scaled NPB sizes (nil/true) vs tiny (false).
 	ClassS *bool `json:"class_s,omitempty"`
@@ -95,9 +97,10 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("unknown machine %q (want smp or numa)", s.Machine)
 	}
 	switch s.Strategy {
-	case "off", "monitor", "noprefetch", "excl", "adaptive", "bias":
+	case "off", "monitor", "noprefetch", "excl", "adaptive", "bias",
+		"multiversion", "causal":
 	default:
-		return fmt.Errorf("unknown strategy %q (want off, monitor, noprefetch, excl, adaptive or bias)", s.Strategy)
+		return fmt.Errorf("unknown strategy %q (want off, monitor, noprefetch, excl, adaptive, bias, multiversion or causal)", s.Strategy)
 	}
 	if s.Workload == "daxpy" {
 		if s.DaxpyWS < MinDaxpyWS || s.DaxpyWS > MaxDaxpyWS {
@@ -174,6 +177,14 @@ func (s *Spec) buildConfig() (workload.BuildConfig, error) {
 		bc.Cobra = &c
 	case "bias":
 		c := cobra.DefaultConfig(cobra.StrategyBias)
+		bc.Cobra = &c
+	case "multiversion", "causal":
+		// Pluggable engines run the adaptive trigger with candidate
+		// generation, judging and deployment delegated to the named
+		// registry engine. The Engine field is omitempty, so every
+		// pre-engine spec keeps its historical ledger content hash.
+		c := cobra.DefaultConfig(cobra.StrategyAdaptive)
+		c.Engine = s.Strategy
 		bc.Cobra = &c
 	default:
 		return bc, fmt.Errorf("unknown strategy %q", s.Strategy)

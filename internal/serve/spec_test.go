@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cobra"
+)
+
+// TestSpecEngineStrategies: the pluggable strategy names validate, build
+// an adaptive config bound to the named engine, and hash to session keys
+// distinct from each other and from plain adaptive.
+func TestSpecEngineStrategies(t *testing.T) {
+	keys := map[string]string{}
+	for _, name := range []string{"adaptive", "multiversion", "causal"} {
+		s := &Spec{Workload: "daxpy", Strategy: name}
+		s.Normalize()
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		bc, err := s.buildConfig()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if bc.Cobra == nil || bc.Cobra.Strategy != cobra.StrategyAdaptive {
+			t.Fatalf("%s: config not adaptive: %+v", name, bc.Cobra)
+		}
+		wantEngine := name
+		if name == "adaptive" {
+			wantEngine = "" // the built-in default, not a registry lookup
+		}
+		if bc.Cobra.Engine != wantEngine {
+			t.Fatalf("%s: engine = %q, want %q", name, bc.Cobra.Engine, wantEngine)
+		}
+		key, err := s.Key()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		keys[name] = key
+	}
+	if keys["adaptive"] == keys["multiversion"] || keys["adaptive"] == keys["causal"] ||
+		keys["multiversion"] == keys["causal"] {
+		t.Fatalf("engine strategies share a ledger key: %v", keys)
+	}
+}
+
+// TestSpecEngineKeyStability: the Engine field must be omitempty so every
+// pre-engine spec (no engine selected) serializes — and therefore content-
+// hashes — exactly as it did before the field existed.
+func TestSpecEngineKeyStability(t *testing.T) {
+	c := cobra.DefaultConfig(cobra.StrategyAdaptive)
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "engine") {
+		t.Fatalf("default config leaks the engine field into content hashes: %s", b)
+	}
+}

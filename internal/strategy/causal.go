@@ -1,0 +1,254 @@
+package strategy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cobra"
+	"repro/internal/obs"
+)
+
+// prediction is the outcome of one virtual-speedup experiment, kept so
+// every later judgement of the region can report predicted vs actual.
+type prediction struct {
+	ipc   float64 // predicted whole-program IPC with the patch in place
+	delta float64 // predicted improvement over the baseline IPC
+}
+
+// causal ranks candidate rewrites by a Coz-style what-if experiment run
+// inside the judging window: virtually speed up the region by the stall
+// share the rewrite is modeled to remove, compute the whole-program IPC
+// that would result, and deploy best-predicted-first. The prediction is
+// recorded with the deploy decision and carried through every judgement
+// so Explain() shows predicted-vs-actual.
+type causal struct {
+	cfg   cobra.Config
+	preds map[cobra.LoopKey]prediction
+}
+
+func newCausal(cfg cobra.Config) *causal {
+	return &causal{cfg: cfg, preds: map[cobra.LoopKey]prediction{}}
+}
+
+func (e *causal) Name() string { return "causal" }
+
+// effect models the fraction of the region's coherent-stall cycles a
+// rewrite removes. Removing a prefetch (nop) eliminates the coherent
+// misses it caused outright; the exclusive-hint rewrites still perform
+// the access but avoid the later upgrade/invalidation round-trip, about
+// half the coherent cost on the simulated protocol. Scaled by the
+// aggregate coherent share so a rewrite is never credited with stalls
+// that are plain capacity misses.
+func effect(rw cobra.Rewrite, coherentShare float64) float64 {
+	switch rw {
+	case cobra.RewriteNop:
+		return coherentShare
+	case cobra.RewriteExcl, cobra.RewriteBias:
+		return 0.5 * coherentShare
+	}
+	return 0
+}
+
+// whatIf runs the virtual-speedup experiment for one region/rewrite:
+// predicted IPC = Instr / (Cycles - saved), where saved is the modeled
+// share of the region's observed stall cycles. Deterministic — pure
+// arithmetic over the trigger-horizon aggregate and DEAR evidence.
+func (e *causal) whatIf(c *cobra.Control, k cobra.LoopKey, loads []cobra.Delinquent, rw cobra.Rewrite, agg cobra.Window) prediction {
+	if agg.Cycles == 0 {
+		return prediction{}
+	}
+	// Observed stall evidence: DEAR-attributed latency of the region's
+	// delinquent loads. Without DEAR attribution (prefetch/store-induced
+	// sharing), fall back to charging the horizon's BUS_HITM events at
+	// the coherent-miss latency, scaled by the loop's activity share.
+	var stall float64
+	for _, d := range loads {
+		stall += float64(d.Count * d.AvgLatency())
+	}
+	if stall == 0 && agg.Samples > 0 {
+		share := float64(c.Profiler().LoopActivity(k)) / float64(agg.Samples)
+		stall = float64(agg.BusHitm) * float64(e.cfg.CoherentLatency) * share
+	}
+	saved := stall * effect(rw, agg.CoherentShare())
+	if max := float64(agg.Cycles) / 2; saved > max {
+		saved = max // a rewrite never halves total runtime; clamp the model
+	}
+	if saved <= 0 {
+		return prediction{}
+	}
+	base := agg.IPC()
+	pred := float64(agg.Instr) / (float64(agg.Cycles) - saved)
+	return prediction{ipc: pred, delta: pred - base}
+}
+
+// candidate is one (region, rewrite) pair with its prediction.
+type candidate struct {
+	key   cobra.LoopKey
+	rw    cobra.Rewrite
+	slots []int
+	pred  prediction
+}
+
+func (e *causal) Judge(c *cobra.Control, win cobra.Window, now int64) {
+	tr := c.Observer().Trace()
+	dl := c.Observer().Decisions()
+	for _, k := range c.PatchedKeys() {
+		st := c.Region(k)
+		if !c.ObserveWindow(st, win) {
+			continue
+		}
+		regressed := c.Regressed(st)
+		ev := c.JudgeEvidence(st)
+		if p, ok := e.preds[k]; ok {
+			ev.PredictedIPC = p.ipc
+			ev.PredictedDelta = p.delta
+		}
+		c.ResetJudgement(st)
+		if regressed {
+			// The experiment's prediction did not survive contact with the
+			// machine: roll back and cool down. No blacklist — a later
+			// phase re-runs the what-if ranking from fresh evidence.
+			if err := c.Patcher().Rollback(st.Patch); err == nil {
+				c.CountRollback()
+			}
+			st.Patch = nil
+			ev.CooldownUntil = c.ArmCooldown(st, now)
+			if tr != nil {
+				tr.Span("patch", fmt.Sprintf("active %s @%#x", ev.Rewrite, k.Head),
+					obs.TIDPatch, st.DeployedAt, now, map[string]any{"region": k.Head})
+				tr.Instant("patch", fmt.Sprintf("rolled back @%#x", k.Head),
+					obs.TIDPatch, now, map[string]any{
+						"region": k.Head, "predicted_ipc": ev.PredictedIPC,
+						"patched_ipc": ev.PatchedIPC,
+					})
+			}
+			dl.Record(now, uint64(k.Head), c.WindowOrdinal(), obs.StateRolledBack, "regressed", ev)
+		} else {
+			reason := "within_tolerance"
+			if ev.PatchedIPC >= ev.BaselineIPC {
+				reason = "improved"
+			}
+			if tr != nil {
+				tr.Instant("patch", fmt.Sprintf("kept @%#x", k.Head),
+					obs.TIDPatch, now, map[string]any{
+						"region": k.Head, "predicted_ipc": ev.PredictedIPC,
+						"patched_ipc": ev.PatchedIPC,
+					})
+			}
+			dl.Record(now, uint64(k.Head), c.WindowOrdinal(), obs.StateKept, reason, ev)
+		}
+	}
+}
+
+func (e *causal) Propose(c *cobra.Control, agg cobra.Window, now int64) {
+	regionLoads := c.CandidateLoads()
+	if len(regionLoads) == 0 || c.AnyUnjudged() {
+		return
+	}
+	tr := c.Observer().Trace()
+	dl := c.Observer().Decisions()
+
+	keys := make([]cobra.LoopKey, 0, len(regionLoads))
+	for k := range regionLoads {
+		keys = append(keys, k)
+	}
+	cobra.SortLoopKeys(keys)
+
+	// Generate every deployable (region, rewrite) candidate and run its
+	// what-if experiment.
+	var cands []candidate
+	for _, k := range keys {
+		if c.Patcher().InCodeCache(k.Head) || c.Patcher().InCodeCache(k.BranchPC) {
+			continue
+		}
+		if !c.Analyzer().ValidLoop(k) {
+			continue
+		}
+		st := c.Region(k)
+		if st.Patch != nil && len(st.Patch.Slots) > 0 {
+			continue
+		}
+		if st.Cooldown > 0 || st.Blocked {
+			continue
+		}
+		region := c.Analyzer().RegionFor(k)
+		for _, rw := range []cobra.Rewrite{cobra.RewriteNop, cobra.RewriteExcl, cobra.RewriteBias} {
+			slots := c.SelectPrefetches(region, regionLoads[k], rw)
+			if len(slots) == 0 {
+				continue
+			}
+			p := e.whatIf(c, k, regionLoads[k], rw, agg)
+			if p.delta <= 0 {
+				continue // the model predicts no whole-program win
+			}
+			cands = append(cands, candidate{key: k, rw: rw, slots: slots, pred: p})
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	// Rank by predicted whole-program IPC delta, best first; ties resolve
+	// by region address then rewrite precedence so runs are deterministic.
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].pred.delta != cands[j].pred.delta {
+			return cands[i].pred.delta > cands[j].pred.delta
+		}
+		if cands[i].key.Head != cands[j].key.Head {
+			return cands[i].key.Head < cands[j].key.Head
+		}
+		return cands[i].rw < cands[j].rw
+	})
+
+	deployed := 0
+	taken := map[cobra.LoopKey]bool{}
+	for _, cand := range cands {
+		if deployed >= maxDeploysPerPass {
+			break
+		}
+		if taken[cand.key] {
+			continue // one rewrite per region per pass: the best-ranked
+		}
+		st := c.Region(cand.key)
+		ev := obs.Evidence{
+			CoherentShare:  agg.CoherentShare(),
+			BusHitm:        uint64(agg.BusHitm),
+			Rewrite:        cand.rw.String(),
+			PredictedIPC:   cand.pred.ipc,
+			PredictedDelta: cand.pred.delta,
+		}
+		reason := "what_if"
+		if dl.State(uint64(cand.key.Head)) == obs.StateRolledBack {
+			reason = "escalate"
+		}
+		dl.Record(now, uint64(cand.key.Head), c.WindowOrdinal(), obs.StateCandidate, reason, ev)
+		if tr != nil {
+			tr.Instant("patch", fmt.Sprintf("candidate %s @%#x", ev.Rewrite, cand.key.Head),
+				obs.TIDPatch, now, map[string]any{
+					"region": cand.key.Head, "predicted_ipc": cand.pred.ipc,
+					"predicted_delta": cand.pred.delta,
+				})
+		}
+		taken[cand.key] = true
+		region := c.Analyzer().RegionFor(cand.key)
+		patch, err := c.Patcher().Deploy(region, cand.slots, cand.rw)
+		if err != nil {
+			continue
+		}
+		st.Patch = patch
+		st.Rewrite = cand.rw
+		c.ArmJudgement(st, agg, now)
+		e.preds[cand.key] = cand.pred
+		deployed++
+		c.CountDeploy(patch, cand.rw)
+		ev.BaselineIPC = st.Baseline
+		ev.GlobalBaselineIPC = st.GlobalBase
+		dl.Record(now, uint64(cand.key.Head), c.WindowOrdinal(), obs.StateDeployed, "deploy", ev)
+		if tr != nil {
+			tr.Instant("patch", fmt.Sprintf("deployed %s @%#x", ev.Rewrite, cand.key.Head),
+				obs.TIDPatch, now, map[string]any{
+					"region": cand.key.Head, "slots": len(patch.Slots),
+					"predicted_ipc": cand.pred.ipc, "baseline_ipc": st.Baseline,
+				})
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Package strategy holds COBRA's pluggable optimization strategies: the
+// policy engines that decide what to patch, how to judge it, and when to
+// give up, built on the cobra.Engine interface and registry.
+//
+// Importing this package registers the engines beyond the built-in
+// default (which lives in internal/cobra itself):
+//
+//   - "prefetch" (built-in): the historical nop / lfetch.excl / ld8.bias
+//     precedence with destructive patch/rollback re-adaptation.
+//   - "multiversion": profile-guided multi-version rewriting (Meng et
+//     al.) — every applicable rewrite of a hot region is deployed into
+//     the code cache at once and kept resident; phase changes flip the
+//     region's dispatch branch between variants (a one-word patch, one
+//     journal record) instead of churning rollback + redeploy.
+//   - "causal": Coz-style causal what-if ranking (Curtsinger & Berger) —
+//     before committing a deploy, each candidate's predicted
+//     whole-program IPC is computed by virtually removing the share of
+//     the region's observed stall cycles the rewrite is modeled to save,
+//     candidates are ranked by predicted delta, and the decision log
+//     records prediction vs realized outcome.
+package strategy
+
+import "repro/internal/cobra"
+
+// Strategy is the engine contract (propose → judge → commit/abandon over
+// RegionState evidence). It aliases cobra.Engine so engines defined here
+// plug into the runtime's registry without an import cycle.
+type Strategy = cobra.Engine
+
+// Names returns every registered strategy engine name, sorted.
+func Names() []string { return cobra.EngineNames() }
+
+func init() {
+	cobra.RegisterEngine("multiversion", func(cfg cobra.Config) cobra.Engine {
+		return newMultiVersion(cfg)
+	})
+	cobra.RegisterEngine("causal", func(cfg cobra.Config) cobra.Engine {
+		return newCausal(cfg)
+	})
+}

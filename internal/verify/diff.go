@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -18,16 +19,21 @@ import (
 type Mode int
 
 const (
-	ModeInPlaceNop  Mode = iota // in-place lfetch → nop mid-run
-	ModeInPlaceExcl             // in-place lfetch → lfetch.excl mid-run
-	ModeTraceNop                // trace-cache copy + entry redirect, nop rewrite
-	ModeTraceExcl               // trace-cache copy + entry redirect, excl rewrite
-	ModeRollback                // in-place nop deployed mid-run, rolled back later
+	ModeInPlaceNop      Mode = iota // in-place lfetch → nop mid-run
+	ModeInPlaceExcl                 // in-place lfetch → lfetch.excl mid-run
+	ModeTraceNop                    // trace-cache copy + entry redirect, nop rewrite
+	ModeTraceExcl                   // trace-cache copy + entry redirect, excl rewrite
+	ModeRollback                    // in-place nop deployed mid-run, rolled back later
+	ModeVariantSwitch               // resident variant table, dispatch switched mid-phase
+	ModeVariantRollback             // variant table switched, then restored to original
 )
 
 // AllModes returns every differential mode, in deterministic order.
 func AllModes() []Mode {
-	return []Mode{ModeInPlaceNop, ModeInPlaceExcl, ModeTraceNop, ModeTraceExcl, ModeRollback}
+	return []Mode{
+		ModeInPlaceNop, ModeInPlaceExcl, ModeTraceNop, ModeTraceExcl, ModeRollback,
+		ModeVariantSwitch, ModeVariantRollback,
+	}
 }
 
 func (m Mode) String() string {
@@ -42,6 +48,10 @@ func (m Mode) String() string {
 		return "trace-excl"
 	case ModeRollback:
 		return "rollback"
+	case ModeVariantSwitch:
+		return "variant-switch"
+	case ModeVariantRollback:
+		return "variant-rollback"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -56,7 +66,15 @@ func ParseMode(s string) (Mode, error) {
 	return 0, fmt.Errorf("verify: unknown mode %q", s)
 }
 
-func (m Mode) useTrace() bool { return m == ModeTraceNop || m == ModeTraceExcl }
+func (m Mode) useTrace() bool {
+	return m == ModeTraceNop || m == ModeTraceExcl || m.useVariants()
+}
+
+// useVariants reports whether the mode patches through a resident
+// multi-version table instead of a single destructive deploy.
+func (m Mode) useVariants() bool {
+	return m == ModeVariantSwitch || m == ModeVariantRollback
+}
 
 func (m Mode) rewrite() cobra.Rewrite {
 	if m == ModeInPlaceExcl || m == ModeTraceExcl {
@@ -181,7 +199,8 @@ func diffStates(want, got *archState, limit int) []string {
 type patchPlan struct {
 	mode       Mode
 	deployAt   int64 // cycle the deploy timer fires
-	rollbackAt int64 // ModeRollback: cycle the rollback timer fires
+	switchAt   int64 // variant modes: cycle the dispatch switches variants
+	rollbackAt int64 // ModeRollback/ModeVariantRollback: cycle of the restore timer
 }
 
 // runOutcome is everything one execution of a generated program yields.
@@ -269,6 +288,70 @@ func (e *runEnv) run(p *Program) error {
 	return e.rt.Serial(p.Reduce, e.bind)
 }
 
+// triagePatchErr classifies a deploy failure by the patcher's typed
+// sentinels: ErrNoRewritableSlots and ErrAlreadyPatched mean the patcher
+// declined cleanly, so the run continues unpatched and the mode result
+// reports "patch never deployed" instead of aborting the whole seed with
+// an execution error. Anything else is a patcher bug and stays fatal.
+func triagePatchErr(err error) error {
+	if errors.Is(err, cobra.ErrNoRewritableSlots) || errors.Is(err, cobra.ErrAlreadyPatched) {
+		return nil
+	}
+	return err
+}
+
+// armVariantTimers schedules the multi-version patch plan: at deployAt a
+// two-variant table (nop and excl rewrites of every lfetch in the
+// target) is deployed resident and the nop variant dispatched; at
+// switchAt the dispatch branch flips to the excl variant mid-phase;
+// ModeVariantRollback additionally restores the original entry at
+// rollbackAt. Dispatch transitions are single-word journaled patches,
+// and the architectural result must stay bit-identical through every
+// combination.
+func armVariantTimers(m *machine.Machine, patcher *cobra.Patcher, region cobra.Region, target Loop, plan *patchPlan, out *runOutcome, deployErr *error) {
+	var vs *cobra.VariantSet
+	m.AddTimer(&machine.Timer{NextAt: plan.deployAt, Fn: func(now int64) int64 {
+		specs := []cobra.VariantSpec{
+			{Rewrite: cobra.RewriteNop, Slots: target.Lfetches},
+			{Rewrite: cobra.RewriteExcl, Slots: target.Lfetches},
+		}
+		set, err := patcher.DeployVariants(region, specs)
+		if err == nil {
+			err = patcher.Switch(set, 0)
+		}
+		if err = triagePatchErr(err); err != nil {
+			*deployErr = err
+			return 0
+		}
+		vs = set
+		out.deployed = vs != nil
+		return 0
+	}})
+	m.AddTimer(&machine.Timer{NextAt: plan.switchAt, Fn: func(now int64) int64 {
+		if vs == nil {
+			return 0 // deploy declined; nothing resident to switch
+		}
+		if len(vs.Variants) < 2 {
+			*deployErr = fmt.Errorf("variant table resident with %d variants, want 2", len(vs.Variants))
+			return 0
+		}
+		if err := patcher.Switch(vs, 1); err != nil && *deployErr == nil {
+			*deployErr = err
+		}
+		return 0
+	}})
+	if plan.mode == ModeVariantRollback {
+		m.AddTimer(&machine.Timer{NextAt: plan.rollbackAt, Fn: func(now int64) int64 {
+			if vs != nil {
+				if err := patcher.Switch(vs, -1); err != nil && *deployErr == nil {
+					*deployErr = err
+				}
+			}
+			return 0
+		}})
+	}
+}
+
 // runProgram executes p on a fresh machine, optionally live-patching it
 // mid-run per plan, and snapshots the final architectural state.
 func runProgram(p *Program, plan *patchPlan) (*runOutcome, error) {
@@ -289,21 +372,26 @@ func runProgram(p *Program, plan *patchPlan) (*runOutcome, error) {
 			End:      target.BranchPC,
 			FuncName: "fuzz.kernel",
 		}
-		var patch *cobra.Patch
-		m.AddTimer(&machine.Timer{NextAt: plan.deployAt, Fn: func(now int64) int64 {
-			patch, deployErr = patcher.Deploy(region, target.Lfetches, plan.mode.rewrite())
-			out.deployed = deployErr == nil
-			return 0
-		}})
-		if plan.mode == ModeRollback {
-			m.AddTimer(&machine.Timer{NextAt: plan.rollbackAt, Fn: func(now int64) int64 {
-				if patch != nil {
-					if err := patcher.Rollback(patch); err != nil && deployErr == nil {
-						deployErr = err
-					}
-				}
+		if plan.mode.useVariants() {
+			armVariantTimers(m, patcher, region, target, plan, out, &deployErr)
+		} else {
+			var patch *cobra.Patch
+			m.AddTimer(&machine.Timer{NextAt: plan.deployAt, Fn: func(now int64) int64 {
+				patch, deployErr = patcher.Deploy(region, target.Lfetches, plan.mode.rewrite())
+				deployErr = triagePatchErr(deployErr)
+				out.deployed = patch != nil && deployErr == nil
 				return 0
 			}})
+			if plan.mode == ModeRollback {
+				m.AddTimer(&machine.Timer{NextAt: plan.rollbackAt, Fn: func(now int64) int64 {
+					if patch != nil {
+						if err := patcher.Rollback(patch); err != nil && deployErr == nil {
+							deployErr = err
+						}
+					}
+					return 0
+				}})
+			}
 		}
 	}
 
@@ -430,8 +518,12 @@ func VerifySeed(cfg GenConfig, modes []Mode, faults []FaultKind) SeedReport {
 	if rollbackAt <= deployAt {
 		rollbackAt = deployAt + 1
 	}
+	switchAt := deployAt + (rollbackAt-deployAt)/2
+	if switchAt <= deployAt {
+		switchAt = deployAt + 1
+	}
 	for _, mode := range modes {
-		run, err := runProgram(p, &patchPlan{mode: mode, deployAt: deployAt, rollbackAt: rollbackAt})
+		run, err := runProgram(p, &patchPlan{mode: mode, deployAt: deployAt, switchAt: switchAt, rollbackAt: rollbackAt})
 		if err != nil {
 			rep.Err = mode.String() + ": " + err.Error()
 			return rep

@@ -1,9 +1,12 @@
 package verify
 
 import (
+	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 
+	"repro/internal/cobra"
 	"repro/internal/ia64"
 )
 
@@ -53,6 +56,56 @@ func TestDifferentialBatteryBitIdentical(t *testing.T) {
 		}
 		if rep.Retired == 0 {
 			t.Errorf("seed %d retired no instructions", seed)
+		}
+	}
+}
+
+// TestParseModeRoundTrip pins the -modes flag contract: every mode's
+// String parses back to itself, including the variant-dispatch modes.
+func TestParseModeRoundTrip(t *testing.T) {
+	for _, m := range AllModes() {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode accepted an unknown mode")
+	}
+}
+
+// TestTriagePatchErr: the patcher's typed sentinels downgrade a deploy
+// failure to "never deployed" while anything else stays fatal.
+func TestTriagePatchErr(t *testing.T) {
+	if err := triagePatchErr(fmt.Errorf("deploy: %w", cobra.ErrNoRewritableSlots)); err != nil {
+		t.Errorf("ErrNoRewritableSlots not triaged: %v", err)
+	}
+	if err := triagePatchErr(fmt.Errorf("deploy: %w", cobra.ErrAlreadyPatched)); err != nil {
+		t.Errorf("ErrAlreadyPatched not triaged: %v", err)
+	}
+	if err := triagePatchErr(nil); err != nil {
+		t.Errorf("nil error mangled: %v", err)
+	}
+	if triagePatchErr(errors.New("image corrupt")) == nil {
+		t.Error("unexpected error class swallowed")
+	}
+}
+
+// TestVariantModesDeployAndDiffClean exercises the variant-dispatch
+// battery directly: the resident table deploys mid-run, the dispatch
+// flips variants mid-phase (and back for the rollback mode), and the
+// architectural state stays bit-identical to the baseline.
+func TestVariantModesDeployAndDiffClean(t *testing.T) {
+	rep := VerifySeed(DefaultGenConfig(7), []Mode{ModeVariantSwitch, ModeVariantRollback}, nil)
+	if rep.Failed() {
+		t.Fatalf("variant battery failed:\n  %v", rep.Problems())
+	}
+	if len(rep.Modes) != 2 {
+		t.Fatalf("got %d mode results, want 2", len(rep.Modes))
+	}
+	for _, m := range rep.Modes {
+		if !m.Deployed {
+			t.Errorf("%s: variant table never deployed", m.Mode)
 		}
 	}
 }
