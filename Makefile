@@ -9,9 +9,9 @@ GO ?= go
 BENCH_LABEL ?= $(shell date -u +%Y-%m-%d)
 SOAK_DURATION ?= 30s
 
-.PHONY: ci vet build race test bench bench-smoke trace-smoke fuzz-smoke strategy-smoke soak-smoke results
+.PHONY: ci vet build race test bench bench-smoke trace-smoke fuzz-smoke strategy-smoke parsim-smoke soak-smoke results
 
-ci: vet build race test bench-smoke trace-smoke fuzz-smoke strategy-smoke
+ci: vet build race test bench-smoke trace-smoke fuzz-smoke strategy-smoke parsim-smoke
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +62,19 @@ trace-smoke:
 # deterministic; a failure prints the seed to replay.
 fuzz-smoke:
 	$(GO) run ./cmd/cobra-verify -seed 1 -n 1000 -fault-every 5
+
+# Parallel-simulator gate: the machine and memory packages (the window
+# engine's home) under the race detector, then the trace-smoke artifact
+# regenerated at -sim-workers 4 and byte-compared against a serial run —
+# the end-to-end determinism check the unit tests argue for.
+parsim-smoke:
+	$(GO) test -race -count=1 ./internal/machine/ ./internal/mem/
+	$(GO) run ./cmd/cobra-run -workload phased -strategy adaptive \
+		-trace results/parsim-serial.json > /dev/null
+	$(GO) run ./cmd/cobra-run -workload phased -strategy adaptive \
+		-sim-workers 4 -trace results/parsim-w4.json > /dev/null
+	cmp results/parsim-serial.json results/parsim-w4.json
+	rm -f results/parsim-serial.json results/parsim-w4.json
 
 # Strategy-engine matrix: every registered engine (prefetch, multiversion,
 # causal) drives the phased re-adaptation workload with the decision-log

@@ -45,6 +45,7 @@ func main() {
 		classS   = flag.Bool("class-s", true, "class-S-scaled sizes (false = tiny)")
 		ws       = flag.Int64("daxpy-ws", 128<<10, "DAXPY working set bytes")
 		reps     = flag.Int("daxpy-reps", 100, "DAXPY outer repetitions")
+		simw     = flag.Int("sim-workers", 0, "simulator worker goroutines (parallel window engine; 0/1 = serial, byte-identical results)")
 		patches  = flag.Bool("show-patches", false, "list the binary patches COBRA deployed")
 
 		traceFile    = flag.String("trace", "", "write a cycle-domain Chrome trace_event JSON to FILE (Perfetto-loadable)")
@@ -60,13 +61,14 @@ func main() {
 	flag.Parse()
 
 	spec := serve.Spec{
-		Workload:  *name,
-		Threads:   *threads,
-		Machine:   *machine,
-		Strategy:  *strategy,
-		ClassS:    classS,
-		DaxpyWS:   *ws,
-		DaxpyReps: *reps,
+		Workload:   *name,
+		Threads:    *threads,
+		Machine:    *machine,
+		Strategy:   *strategy,
+		ClassS:     classS,
+		DaxpyWS:    *ws,
+		DaxpyReps:  *reps,
+		SimWorkers: *simw,
 	}
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {

@@ -47,6 +47,7 @@ func main() {
 		ledgerDir   = flag.String("ledger-dir", "", "run ledger directory shared with cobra-run -incremental (empty = none)")
 		maxSessions = flag.Int("max-sessions", 0, "retained session records (0 = 1024); oldest finished evicted first")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline before in-flight sessions are force-cancelled")
+		simWorkers  = flag.Int("sim-workers", 0, "default sim_workers for sessions that don't set one (parallel window engine; 0/1 = serial, byte-identical results)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		LedgerDir:      *ledgerDir,
 		MaxSessions:    *maxSessions,
+		SimWorkers:     *simWorkers,
 		Logf:           log.Printf,
 	})
 	if err != nil {

@@ -1,0 +1,442 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/hpm"
+	"repro/internal/ia64"
+	"repro/internal/mem"
+)
+
+// The parallel window engine's contract is byte-identical results: every
+// architectural register, every memory word, every PMU counter, every
+// cycle count must match the serial engine exactly — for race-free
+// programs, for programs with genuine cross-CPU sharing (conflict
+// aborts), for mid-run binary patches, and for faulting code. These tests
+// run the same scenario on both engines and compare everything.
+
+// parSnapshot is everything observable about a finished machine.
+type parSnapshot struct {
+	RF      []ia64.RegFile
+	PC      []int
+	Cycle   []int64
+	Retired []int64
+	Halted  []bool
+	PMU     []string
+	DEAR    []hpm.DEARSample
+	BTB     [][]hpm.BranchPair
+	Stats   []mem.CPUStats
+	Global  int64
+	Mem     map[uint64]int64
+}
+
+func snapshotAll(m *Machine) *parSnapshot {
+	s := &parSnapshot{Global: m.GlobalCycle(), Mem: map[uint64]int64{}}
+	for id := 0; id < m.NumCPUs(); id++ {
+		c := m.CPU(id)
+		s.RF = append(s.RF, c.RF)
+		s.PC = append(s.PC, c.PC)
+		s.Cycle = append(s.Cycle, c.Cycle)
+		s.Retired = append(s.Retired, c.InstRetired)
+		s.Halted = append(s.Halted, c.Halted)
+		var pmu string
+		for _, ctr := range c.PMU.ReadAll() {
+			pmu += fmt.Sprintf("%d=%d/%d;", ctr.Event, ctr.Value, ctr.Period)
+		}
+		s.PMU = append(s.PMU, pmu)
+		s.DEAR = append(s.DEAR, c.PMU.ReadDEAR())
+		s.BTB = append(s.BTB, c.PMU.ReadBTB())
+		s.Stats = append(s.Stats, m.Domain().Stats(id))
+	}
+	for _, seg := range m.Memory().Segments() {
+		for off := uint64(0); off+8 <= seg.Size; off += 8 {
+			s.Mem[seg.Base+off] = m.Memory().ReadI64(seg.Base + off)
+		}
+	}
+	return s
+}
+
+// parScenario builds a machine, starts its threads, and returns the
+// active CPU set. Run once per engine on a fresh image.
+type parScenario func(t *testing.T, workers int) (*Machine, []int)
+
+// runBothEngines runs the scenario serially and at several worker counts
+// and requires bit-identical outcomes (including identical errors).
+func runBothEngines(t *testing.T, build parScenario) {
+	t.Helper()
+	type outcome struct {
+		snap *parSnapshot
+		n    int64
+		err  string
+	}
+	run := func(workers int) outcome {
+		m, active := build(t, workers)
+		n, err := m.RunAll(active)
+		o := outcome{snap: snapshotAll(m), n: n}
+		if err != nil {
+			o.err = err.Error()
+		}
+		return o
+	}
+	base := run(0)
+	for _, w := range []int{2, 3, 8} {
+		got := run(w)
+		if got.err != base.err {
+			t.Fatalf("workers=%d: err = %q, want %q", w, got.err, base.err)
+		}
+		if got.n != base.n {
+			t.Fatalf("workers=%d: retired = %d, want %d", w, got.n, base.n)
+		}
+		if !reflect.DeepEqual(got.snap, base.snap) {
+			diffSnapshots(t, w, base.snap, got.snap)
+		}
+	}
+}
+
+func diffSnapshots(t *testing.T, workers int, want, got *parSnapshot) {
+	t.Helper()
+	for id := range want.RF {
+		if want.RF[id] != got.RF[id] {
+			t.Errorf("workers=%d cpu%d: register file differs", workers, id)
+		}
+		if want.PC[id] != got.PC[id] || want.Cycle[id] != got.Cycle[id] ||
+			want.Retired[id] != got.Retired[id] || want.Halted[id] != got.Halted[id] {
+			t.Errorf("workers=%d cpu%d: pc/cycle/retired/halted = %d/%d/%d/%v, want %d/%d/%d/%v",
+				workers, id, got.PC[id], got.Cycle[id], got.Retired[id], got.Halted[id],
+				want.PC[id], want.Cycle[id], want.Retired[id], want.Halted[id])
+		}
+		if want.PMU[id] != got.PMU[id] {
+			t.Errorf("workers=%d cpu%d: PMU %s, want %s", workers, id, got.PMU[id], want.PMU[id])
+		}
+		if want.DEAR[id] != got.DEAR[id] {
+			t.Errorf("workers=%d cpu%d: DEAR differs", workers, id)
+		}
+		if !reflect.DeepEqual(want.BTB[id], got.BTB[id]) {
+			t.Errorf("workers=%d cpu%d: BTB differs", workers, id)
+		}
+		if want.Stats[id] != got.Stats[id] {
+			t.Errorf("workers=%d cpu%d: domain stats = %+v, want %+v", workers, id, got.Stats[id], want.Stats[id])
+		}
+	}
+	if want.Global != got.Global {
+		t.Errorf("workers=%d: global cycle = %d, want %d", workers, got.Global, want.Global)
+	}
+	for a, v := range want.Mem {
+		if got.Mem[a] != v {
+			t.Errorf("workers=%d: mem[%#x] = %d, want %d", workers, a, got.Mem[a], v)
+		}
+	}
+	t.FailNow()
+}
+
+func parMachine(t *testing.T, img *ia64.Image, ncpu, workers int) *Machine {
+	t.Helper()
+	cfg := DefaultConfig(ncpu)
+	cfg.Mem.MemBytes = 32 << 20
+	cfg.SimWorkers = workers
+	m, err := New(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestParallelMatchesSerialDisjoint: race-free CPUs summing private
+// arrays, halting at staggered times (exercising the drain and the
+// single-runnable serial-stretch tail).
+func TestParallelMatchesSerialDisjoint(t *testing.T) {
+	runBothEngines(t, func(t *testing.T, workers int) (*Machine, []int) {
+		img := ia64.NewImage()
+		entry := asmSumLoop(img)
+		m := parMachine(t, img, 4, workers)
+		active := []int{0, 1, 2, 3}
+		for _, id := range active {
+			base := m.Memory().MustAlloc("a", 8*2100, 128)
+			for i := 0; i < 2100; i++ {
+				m.Memory().WriteI64(base+uint64(8*i), int64(i*3+id))
+			}
+			n := 1500 + 137*id // staggered halt cycles
+			m.StartThread(id, entry, id+1, func(rf *ia64.RegFile) {
+				rf.SetGR(8, int64(base))
+				rf.SetGR(10, int64(n))
+			})
+		}
+		return m, active
+	})
+}
+
+// asmShareLoop: each CPU publishes its running sum to its own word and
+// folds in a neighbour's word every iteration — genuine cross-CPU
+// read-write sharing, the conflict-abort worst case. The serial engine's
+// interleaving is the definition of correct; the window engine must
+// reproduce it exactly.
+func asmShareLoop(img *ia64.Image) int {
+	a := ia64.NewAsm(img, "share")
+	// r8 = &own, r9 = &neighbour, r10 = LC, r11 = sum, r12 = scratch
+	a.Emit(ia64.Instr{Op: ia64.OpMovToLC, R2: 10})
+	a.Emit(ia64.Instr{Op: ia64.OpMovI, R1: 11, Imm: 0})
+	a.Label("top")
+	a.Emit(ia64.Instr{Op: ia64.OpSt, R2: 8, R3: 11})
+	a.Emit(ia64.Instr{Op: ia64.OpLd, R1: 12, R2: 9})
+	a.Emit(ia64.Instr{Op: ia64.OpAdd, R1: 11, R2: 11, R3: 12})
+	a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: 11, R2: 11, Imm: 1})
+	a.Br(ia64.BrCloop, 0, "top")
+	a.Emit(ia64.Instr{Op: ia64.OpHalt})
+	entry, err := a.Close()
+	if err != nil {
+		panic(err)
+	}
+	return entry
+}
+
+func TestParallelMatchesSerialSharing(t *testing.T) {
+	runBothEngines(t, func(t *testing.T, workers int) (*Machine, []int) {
+		img := ia64.NewImage()
+		entry := asmShareLoop(img)
+		const ncpu = 4
+		m := parMachine(t, img, ncpu, workers)
+		shared := m.Memory().MustAlloc("shared", 8*ncpu, 128)
+		active := []int{0, 1, 2, 3}
+		for _, id := range active {
+			own := shared + uint64(8*id)
+			nb := shared + uint64(8*((id+1)%ncpu))
+			m.StartThread(id, entry, id+1, func(rf *ia64.RegFile) {
+				rf.SetGR(8, int64(own))
+				rf.SetGR(9, int64(nb))
+				rf.SetGR(10, int64(900+31*id))
+			})
+		}
+		return m, active
+	})
+}
+
+// TestParallelMatchesSerialPatchTimer: a timer patches a prefetch out of
+// the shared loop body mid-run. The image-generation change must abort
+// the in-flight window so no CPU ever replays stale decodes.
+func TestParallelMatchesSerialPatchTimer(t *testing.T) {
+	runBothEngines(t, func(t *testing.T, workers int) (*Machine, []int) {
+		img := ia64.NewImage()
+		a := ia64.NewAsm(img, "looppf")
+		a.Emit(ia64.Instr{Op: ia64.OpMovToLCI, Imm: 1999})
+		a.Label("top")
+		pfSlot := a.Emit(ia64.Instr{Op: ia64.OpLfetch, R2: 8, Hint: ia64.HintNT1})
+		a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: 8, R2: 8, Imm: 128})
+		a.Emit(ia64.Instr{Op: ia64.OpLd, R1: 11, R2: 9})
+		a.Emit(ia64.Instr{Op: ia64.OpAdd, R1: 12, R2: 12, R3: 11})
+		a.Br(ia64.BrCloop, 0, "top")
+		a.Emit(ia64.Instr{Op: ia64.OpHalt})
+		entry, err := a.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := parMachine(t, img, 2, workers)
+		m.AddTimer(&Timer{NextAt: 5000, Fn: func(now int64) int64 {
+			if _, err := img.Patch(entry+pfSlot, ia64.Instr{Op: ia64.OpNop}); err != nil {
+				t.Errorf("patch: %v", err)
+			}
+			return 0
+		}})
+		for id := 0; id < 2; id++ {
+			buf := m.Memory().MustAlloc("buf", 1<<20, 128)
+			word := m.Memory().MustAlloc("w", 8, 128)
+			m.Memory().WriteI64(word, int64(7+id))
+			m.StartThread(id, entry, id+1, func(rf *ia64.RegFile) {
+				rf.SetGR(8, int64(buf))
+				rf.SetGR(9, int64(word))
+			})
+		}
+		return m, []int{0, 1}
+	})
+}
+
+// TestParallelMatchesSerialUnaligned: one CPU issues unaligned loads
+// (straddling staging granules), which the recorder cannot window — the
+// spot must re-execute on the serial engine with identical results.
+func TestParallelMatchesSerialUnaligned(t *testing.T) {
+	runBothEngines(t, func(t *testing.T, workers int) (*Machine, []int) {
+		img := ia64.NewImage()
+		entry := asmSumLoop(img)
+		m := parMachine(t, img, 2, workers)
+		active := []int{0, 1}
+		for _, id := range active {
+			base := m.Memory().MustAlloc("a", 8*600+4, 128)
+			if id == 1 {
+				base += 4 // every load misaligned on CPU 1
+			}
+			m.StartThread(id, entry, id+1, func(rf *ia64.RegFile) {
+				rf.SetGR(8, int64(base))
+				rf.SetGR(10, 511)
+			})
+		}
+		return m, active
+	})
+}
+
+// TestParallelMatchesSerialBadPC: a computed branch jumps outside the
+// image mid-run. The error — and the machine state left behind — must be
+// identical to the serial engine's.
+func TestParallelMatchesSerialBadPC(t *testing.T) {
+	runBothEngines(t, func(t *testing.T, workers int) (*Machine, []int) {
+		img := ia64.NewImage()
+		entry := asmSumLoop(img)
+
+		// CPU 1 runs a short loop, then falls off the end of the image.
+		a := ia64.NewAsm(img, "fall")
+		a.Emit(ia64.Instr{Op: ia64.OpMovToLCI, Imm: 700})
+		a.Label("top")
+		a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: 11, R2: 11, Imm: 1})
+		a.Br(ia64.BrCloop, 0, "top")
+		fall, err := a.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		m := parMachine(t, img, 2, workers)
+		base := m.Memory().MustAlloc("a", 8*4096, 128)
+		m.StartThread(0, entry, 1, func(rf *ia64.RegFile) {
+			rf.SetGR(8, int64(base))
+			rf.SetGR(10, 4000)
+		})
+		m.StartThread(1, fall, 2, nil)
+		return m, []int{0, 1}
+	})
+}
+
+// TestParallelMatchesSerialBudget: the instruction budget must trip at
+// the same retired count, with the same error text, on both engines.
+func TestParallelMatchesSerialBudget(t *testing.T) {
+	runBothEngines(t, func(t *testing.T, workers int) (*Machine, []int) {
+		img := ia64.NewImage()
+		a := ia64.NewAsm(img, "spin")
+		a.Label("top")
+		a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: 11, R2: 11, Imm: 1})
+		a.Br(ia64.BrAlways, 0, "top")
+		entry, err := a.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(2)
+		cfg.Mem.MemBytes = 1 << 20
+		cfg.MaxInstrPerRun = 25_000
+		cfg.SimWorkers = workers
+		m, err := New(cfg, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.StartThread(0, entry, 1, nil)
+		m.StartThread(1, entry, 2, nil)
+		return m, []int{0, 1}
+	})
+}
+
+// TestParallelInterruptBarrierAware: cancellation must be honoured at
+// every window boundary even when the retired-instruction poll cadence
+// would never fire — reaction latency is bounded by one window, not by
+// the poll interval (the cobrad session-cancel regression).
+func TestParallelInterruptBarrierAware(t *testing.T) {
+	img := ia64.NewImage()
+	entry := asmSumLoop(img)
+	m := parMachine(t, img, 2, 2)
+	p := m.ensurePar()
+	p.window = 64 // small window: several boundaries even in a short run
+
+	base0 := m.Memory().MustAlloc("a0", 8*65536, 128)
+	base1 := m.Memory().MustAlloc("a1", 8*65536, 128)
+	m.StartThread(0, entry, 1, func(rf *ia64.RegFile) {
+		rf.SetGR(8, int64(base0))
+		rf.SetGR(10, 65535)
+	})
+	m.StartThread(1, entry, 2, func(rf *ia64.RegFile) {
+		rf.SetGR(8, int64(base1))
+		rf.SetGR(10, 65535)
+	})
+
+	stop := errors.New("session cancelled")
+	polls := 0
+	// Interval far beyond the program length: the per-instruction cadence
+	// alone would run the program to completion without ever polling.
+	m.SetInterrupt(func() error {
+		polls++
+		if polls >= 3 {
+			return stop
+		}
+		return nil
+	}, 1<<60)
+
+	n, err := m.RunAll([]int{0, 1})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want wrapped %v", err, stop)
+	}
+	if !strings.Contains(err.Error(), "run interrupted") {
+		t.Fatalf("error does not say the run was interrupted: %v", err)
+	}
+	// Three boundary polls at a 64-group window: the run must have been
+	// cut short after a handful of windows, far below the full program.
+	maxRetired := int64(3 * 2 * 64 * 8)
+	if n <= 0 || n > maxRetired {
+		t.Fatalf("retired %d instructions before honouring cancel, want (0, %d]", n, maxRetired)
+	}
+}
+
+// TestParallelInterruptQuietIdentical: a poll that never fires must leave
+// the parallel outcome bit-identical to the serial one even though the
+// parallel engine polls extra times at window boundaries.
+func TestParallelInterruptQuietIdentical(t *testing.T) {
+	runBothEngines(t, func(t *testing.T, workers int) (*Machine, []int) {
+		img := ia64.NewImage()
+		entry := asmSumLoop(img)
+		m := parMachine(t, img, 2, workers)
+		active := []int{0, 1}
+		for _, id := range active {
+			base := m.Memory().MustAlloc("a", 8*3000, 128)
+			m.StartThread(id, entry, id+1, func(rf *ia64.RegFile) {
+				rf.SetGR(8, int64(base))
+				rf.SetGR(10, 2500)
+			})
+		}
+		m.SetInterrupt(func() error { return nil }, 1000)
+		return m, active
+	})
+}
+
+// TestParallelRunAllReusable: back-to-back RunAll calls on one machine
+// (the fork-join pattern every workload uses) must keep producing
+// serial-identical results — shadow state must never leak across runs.
+func TestParallelRunAllReusable(t *testing.T) {
+	runBothEngines(t, func(t *testing.T, workers int) (*Machine, []int) {
+		img := ia64.NewImage()
+		entry := asmShareLoop(img)
+		const ncpu = 3
+		m := parMachine(t, img, ncpu, workers)
+		shared := m.Memory().MustAlloc("shared", 8*ncpu, 128)
+		for round := 0; round < 3; round++ {
+			for id := 0; id < ncpu; id++ {
+				own := shared + uint64(8*id)
+				nb := shared + uint64(8*((id+1)%ncpu))
+				m.StartThread(id, entry, id+1, func(rf *ia64.RegFile) {
+					rf.SetGR(8, int64(own))
+					rf.SetGR(9, int64(nb))
+					rf.SetGR(10, int64(300+17*id+50*round))
+				})
+			}
+			if _, err := m.RunAll([]int{0, 1, 2}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Final round is the one the harness compares.
+		for id := 0; id < ncpu; id++ {
+			own := shared + uint64(8*id)
+			nb := shared + uint64(8*((id+1)%ncpu))
+			m.StartThread(id, entry, id+1, func(rf *ia64.RegFile) {
+				rf.SetGR(8, int64(own))
+				rf.SetGR(9, int64(nb))
+				rf.SetGR(10, 400)
+			})
+		}
+		return m, []int{0, 1, 2}
+	})
+}

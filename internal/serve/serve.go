@@ -65,6 +65,11 @@ type Config struct {
 	// memory guard that keeps a hammered server from growing without
 	// bound.
 	MaxSessions int
+	// SimWorkers is the default sim_workers for sessions that do not set
+	// one: the simulator's parallel window engine worker count. Results
+	// and ledger keys are identical at any value, so operators can turn
+	// it on fleet-wide without invalidating recorded measurements.
+	SimWorkers int
 	// Logf receives service diagnostics (nil discards).
 	Logf func(format string, args ...any)
 }
@@ -214,6 +219,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.metric(func(m *obs.Registry) { m.Counter("serve.rejected_invalid").Inc() })
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
+	}
+	if req.Spec.SimWorkers == 0 {
+		req.Spec.SimWorkers = s.cfg.SimWorkers
 	}
 	req.Spec.Normalize()
 	if err := req.Spec.Validate(); err != nil {

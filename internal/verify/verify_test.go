@@ -125,7 +125,7 @@ func TestOracleDetectsSemanticCorruption(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		env, err := setupRun(p)
+		env, err := setupRun(p, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +198,8 @@ func TestRunCorpusSmoke(t *testing.T) {
 	if sum.Programs != 6 {
 		t.Fatalf("programs = %d, want 6", sum.Programs)
 	}
-	wantRuns := 6*(1+len(AllModes())) + 2*len(AllFaults())
+	// parallel-sim is one mode but runs once per worker count.
+	wantRuns := 6*(1+len(AllModes())+len(parallelSimWorkers)-1) + 2*len(AllFaults())
 	if sum.Runs != wantRuns {
 		t.Fatalf("runs = %d, want %d", sum.Runs, wantRuns)
 	}
