@@ -9,9 +9,9 @@ GO ?= go
 BENCH_LABEL ?= $(shell date -u +%Y-%m-%d)
 SOAK_DURATION ?= 30s
 
-.PHONY: ci vet build race test bench bench-smoke trace-smoke fuzz-smoke strategy-smoke parsim-smoke soak-smoke results
+.PHONY: ci vet build race test bench bench-smoke trace-smoke fuzz-smoke strategy-smoke parsim-smoke stream-smoke soak-smoke results
 
-ci: vet build race test bench-smoke trace-smoke fuzz-smoke strategy-smoke parsim-smoke
+ci: vet build race test bench-smoke trace-smoke fuzz-smoke strategy-smoke parsim-smoke stream-smoke
 
 vet:
 	$(GO) vet ./...
@@ -75,6 +75,16 @@ parsim-smoke:
 		-sim-workers 4 -trace results/parsim-w4.json > /dev/null
 	cmp results/parsim-serial.json results/parsim-w4.json
 	rm -f results/parsim-serial.json results/parsim-w4.json
+
+# Live-telemetry gate: a phased adaptive session runs against an
+# in-process cobrad with its SSE stream followed to completion under the
+# race detector; the streamed decision transitions must replay to
+# byte-equality with the final decisions artifact, the streamed window
+# snapshots must equal the metrics artifact's window series, and every
+# event must carry strictly monotone ids and finite numbers
+# (tracecheck-style structural validation of the event JSON).
+stream-smoke:
+	$(GO) test -race -count=1 -run 'TestStreamEquivalence|TestStreamResume|TestEventszStream' ./internal/serve/
 
 # Strategy-engine matrix: every registered engine (prefetch, multiversion,
 # causal) drives the phased re-adaptation workload with the decision-log

@@ -9,10 +9,17 @@
 //
 //	GET  /healthz                          liveness (ok | draining)
 //	GET  /metricsz                         service metrics registry dump
+//	GET  /eventsz                          server-wide SSE stream: session
+//	                                       state changes, queue depth,
+//	                                       serve.* counter deltas
 //	POST /sessions                         submit a session (Spec JSON)
-//	GET  /sessions                         list sessions
+//	GET  /sessions[?state=S]               list sessions (submission order)
 //	GET  /sessions/{id}                    session status + live progress
 //	GET  /sessions/{id}/result             bare measurement JSON
+//	GET  /sessions/{id}/events             live SSE stream (artifacts.events):
+//	                                       per-window IPC, metric deltas,
+//	                                       patch-lifecycle decisions;
+//	                                       resumable via Last-Event-ID
 //	POST /sessions/{id}/cancel             cancel (also DELETE /sessions/{id})
 //	GET  /sessions/{id}/artifacts/{kind}   trace | metrics | decisions
 //
@@ -48,18 +55,20 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 0, "retained session records (0 = 1024); oldest finished evicted first")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline before in-flight sessions are force-cancelled")
 		simWorkers  = flag.Int("sim-workers", 0, "default sim_workers for sessions that don't set one (parallel window engine; 0/1 = serial, byte-identical results)")
+		streamSubs  = flag.Int("stream-subs", 0, "max concurrent SSE subscribers per event stream (0 = 32); excess answered 429")
 	)
 	flag.Parse()
 
 	srv, err := serve.New(serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		LedgerDir:      *ledgerDir,
-		MaxSessions:    *maxSessions,
-		SimWorkers:     *simWorkers,
-		Logf:           log.Printf,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		LedgerDir:         *ledgerDir,
+		MaxSessions:       *maxSessions,
+		SimWorkers:        *simWorkers,
+		StreamSubscribers: *streamSubs,
+		Logf:              log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

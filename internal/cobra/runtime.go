@@ -402,6 +402,21 @@ func (r *Runtime) optimizePass(now int64) {
 		reg.Histogram("cobra.pass_cycles").Observe(float64(now - r.lastPass))
 		reg.Snapshot(r.windows, now)
 	}
+	// Live telemetry: every pass publishes its rolling window view to
+	// the event bus, independent of whether the full metrics registry is
+	// enabled — the bus is what cobra-top's rolling-IPC display and the
+	// SSE session stream tail while the run executes. Guarded so a
+	// disabled bus costs nothing.
+	if bus := r.obs.Bus(); bus != nil {
+		bus.Publish(obs.KindPass, now, obs.PassEvent{
+			Window:        r.windows,
+			Cycle:         now,
+			IPC:           win.IPC(),
+			CoherentShare: win.CoherentShare(),
+			Samples:       win.Samples,
+			GlobalIPCEMA:  r.globalEMA,
+		})
+	}
 	// Online lifecycle oracle: with SelfCheck on, every pass replays the
 	// decision log through the legality checker so a fuzz or fault-injection
 	// run fails at the pass that recorded the illegal transition, not in a

@@ -126,6 +126,11 @@ type Decision struct {
 type DecisionLog struct {
 	decisions []Decision
 	last      map[uint64]PatchState
+
+	// bus, when attached, receives every recorded decision as a live
+	// KindDecision event at the instant Record runs — the streaming
+	// counterpart of the post-run audit trail.
+	bus *EventBus
 }
 
 // NewDecisionLog returns an empty enabled log.
@@ -135,6 +140,14 @@ func NewDecisionLog() *DecisionLog {
 
 // Enabled reports whether the log records anything.
 func (l *DecisionLog) Enabled() bool { return l != nil }
+
+// AttachBus routes every future Record to b as a live KindDecision
+// event (nil-safe on both sides; attaching nil detaches).
+func (l *DecisionLog) AttachBus(b *EventBus) {
+	if l != nil {
+		l.bus = b
+	}
+}
 
 // Record appends a decision. From is filled in from the region's last
 // recorded state so callers only name the destination.
@@ -154,6 +167,9 @@ func (l *DecisionLog) Record(cycle int64, region uint64, window int, to PatchSta
 	}
 	l.decisions = append(l.decisions, d)
 	l.last[region] = to
+	if l.bus != nil {
+		l.bus.Publish(KindDecision, cycle, d)
+	}
 }
 
 // Decisions returns the full audit trail in record order.

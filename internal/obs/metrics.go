@@ -16,6 +16,10 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 	snapshots  []WindowSnapshot
+
+	// bus, when attached, receives one KindWindow event per Snapshot —
+	// the live counterpart of the Windows time series in the dump.
+	bus *EventBus
 }
 
 // NewRegistry returns an empty enabled registry.
@@ -29,6 +33,14 @@ func NewRegistry() *Registry {
 
 // Enabled reports whether the registry records anything.
 func (r *Registry) Enabled() bool { return r != nil }
+
+// AttachBus routes every future Snapshot to b as a live KindWindow
+// event (nil-safe on both sides; attaching nil detaches).
+func (r *Registry) AttachBus(b *EventBus) {
+	if r != nil {
+		r.bus = b
+	}
+}
 
 // Counter is a monotonically increasing int64. A nil *Counter (from a
 // nil registry) is a no-op, so instrumented code can hold counters
@@ -176,18 +188,76 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
-// HistogramStat is the exported summary of one histogram.
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation inside the power-of-two bucket holding the target rank,
+// clamped to the observed [min, max]. The pow2 bounds cap the relative
+// error at the bucket width — coarse, but configuration-free and exact
+// at the extremes, which is what a latency dashboard needs. Returns 0
+// on a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	// Buckets in ascending key order: -1 (v <= 0), then 0, 1, 2, ...
+	keys := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var cum float64
+	for _, k := range keys {
+		c := float64(h.buckets[k])
+		if cum+c >= rank {
+			var lo, hi float64
+			switch {
+			case k < 0:
+				lo, hi = math.Min(h.min, 0), 0
+			case k == 0:
+				lo, hi = 0, 1
+			default:
+				hi = float64(int64(1) << uint(k))
+				lo = hi / 2
+			}
+			pos := 0.0
+			if c > 0 {
+				pos = (rank - cum) / c
+			}
+			v := lo + pos*(hi-lo)
+			return math.Min(math.Max(v, h.min), h.max)
+		}
+		cum += c
+	}
+	return h.max
+}
+
+// HistogramStat is the exported summary of one histogram. P50/P95/P99
+// are quantile estimates interpolated from the pow2 buckets (see
+// Histogram.Quantile); they surface in every registry dump — /metricsz,
+// WriteJSON, window snapshots.
 type HistogramStat struct {
 	Count   int64            `json:"count"`
 	Sum     float64          `json:"sum"`
 	Min     float64          `json:"min"`
 	Max     float64          `json:"max"`
 	Mean    float64          `json:"mean"`
+	P50     float64          `json:"p50"`
+	P95     float64          `json:"p95"`
+	P99     float64          `json:"p99"`
 	Buckets map[string]int64 `json:"buckets,omitempty"` // "le_2^k" -> count
 }
 
 func (h *Histogram) stat() HistogramStat {
-	s := HistogramStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Mean: h.Mean()}
+	s := HistogramStat{
+		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Mean: h.Mean(),
+		P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+	}
 	if len(h.buckets) > 0 {
 		s.Buckets = make(map[string]int64, len(h.buckets))
 		for k, n := range h.buckets {
@@ -261,6 +331,24 @@ func (r *Registry) Snapshot(window int, cycle int64) {
 		}
 	}
 	r.snapshots = append(r.snapshots, s)
+	if r.bus != nil {
+		ev := WindowEvent{WindowSnapshot: s}
+		if n := len(r.snapshots); n >= 2 && len(s.Counters) > 0 {
+			prev := r.snapshots[n-2].Counters
+			ev.CounterDeltas = make(map[string]int64, len(s.Counters))
+			for name, v := range s.Counters {
+				if d := v - prev[name]; d != 0 {
+					ev.CounterDeltas[name] = d
+				}
+			}
+			if len(ev.CounterDeltas) == 0 {
+				ev.CounterDeltas = nil
+			}
+		} else if len(s.Counters) > 0 {
+			ev.CounterDeltas = s.Counters
+		}
+		r.bus.Publish(KindWindow, cycle, ev)
+	}
 }
 
 // Snapshots returns the recorded per-window snapshots.

@@ -18,7 +18,9 @@
 //  3. One observer per instance. The simulator is single-goroutine per
 //     machine, and so is its observer. Concurrent experiment cells each
 //     get their own Observer (see the sched artifact hooks); none of the
-//     types here lock.
+//     artifact types here lock. The one exception is the EventBus — the
+//     live telemetry plane — whose subscribers drain from other
+//     goroutines; it locks internally and its publishers never block.
 package obs
 
 import "fmt"
@@ -38,6 +40,18 @@ type Config struct {
 	Metrics bool
 	// Decisions enables the patch-decision audit log.
 	Decisions bool
+	// Events enables the live event bus: decision transitions, window
+	// snapshots and control-loop pass summaries publish to subscribers
+	// during the run instead of only materializing as artifacts at the
+	// end. The bus feeds off the metrics and decisions surfaces, so
+	// enable those too for the full stream.
+	Events bool
+	// EventHistory bounds the bus's retained-event ring used for
+	// subscriber resume (0 = DefaultBusHistory).
+	EventHistory int
+	// EventSubscribers bounds concurrent bus subscriptions
+	// (0 = DefaultBusSubscribers).
+	EventSubscribers int
 }
 
 // Observer bundles the three observability surfaces. A nil *Observer is
@@ -47,6 +61,7 @@ type Observer struct {
 	sampleEvents bool
 	metrics      *Registry
 	decisions    *DecisionLog
+	bus          *EventBus
 }
 
 // New builds an observer with the configured surfaces enabled. A config
@@ -62,6 +77,11 @@ func New(cfg Config) *Observer {
 	}
 	if cfg.Decisions {
 		o.decisions = NewDecisionLog()
+	}
+	if cfg.Events {
+		o.bus = NewEventBus(cfg.EventHistory, cfg.EventSubscribers)
+		o.metrics.AttachBus(o.bus)
+		o.decisions.AttachBus(o.bus)
 	}
 	return o
 }
@@ -98,6 +118,14 @@ func (o *Observer) Decisions() *DecisionLog {
 		return nil
 	}
 	return o.decisions
+}
+
+// Bus returns the live event bus, or nil when disabled.
+func (o *Observer) Bus() *EventBus {
+	if o == nil {
+		return nil
+	}
+	return o.bus
 }
 
 // LabelTracks names the standard tracks of a machine trace: one row per

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -392,4 +393,94 @@ func TestRegistryDumpSnapshot(t *testing.T) {
 	if len(d.Windows) != 1 || d.Windows[0].Cycle != 5000 {
 		t.Fatalf("windows in dump = %+v, want one at cycle 5000", d.Windows)
 	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	t.Run("empty and nil", func(t *testing.T) {
+		var h *Histogram
+		if h.Quantile(0.5) != 0 {
+			t.Fatal("nil histogram quantile != 0")
+		}
+		if q := NewRegistry().Histogram("h").Quantile(0.5); q != 0 {
+			t.Fatalf("empty histogram quantile = %v", q)
+		}
+	})
+
+	t.Run("single value pins all quantiles", func(t *testing.T) {
+		h := NewRegistry().Histogram("h")
+		h.Observe(7)
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != 7 {
+				t.Fatalf("Quantile(%v) = %v, want 7 (min==max clamp)", q, got)
+			}
+		}
+	})
+
+	t.Run("interpolates within a bucket", func(t *testing.T) {
+		h := NewRegistry().Histogram("h")
+		// 100 observations spread over (4, 8]: one pow2 bucket.
+		for i := 1; i <= 100; i++ {
+			h.Observe(4 + 4*float64(i)/100)
+		}
+		// p50 should land mid-bucket, near 6; interpolation is linear in
+		// the bucket so the error bound is the clamp, not the estimate.
+		if p50 := h.Quantile(0.50); p50 < 5.5 || p50 > 6.5 {
+			t.Fatalf("p50 = %v, want ~6", p50)
+		}
+		if p99 := h.Quantile(0.99); p99 < 7.5 || p99 > 8 {
+			t.Fatalf("p99 = %v, want near 8", p99)
+		}
+	})
+
+	t.Run("monotone across buckets and clamped to extremes", func(t *testing.T) {
+		h := NewRegistry().Histogram("h")
+		for _, v := range []float64{-2, 0.5, 0.5, 3, 3, 3, 40, 40, 900} {
+			h.Observe(v)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("Quantile not monotone: q=%v gives %v after %v", q, v, prev)
+			}
+			if v < -2 || v > 900 {
+				t.Fatalf("Quantile(%v) = %v escapes [min, max]", q, v)
+			}
+			prev = v
+		}
+		if h.Quantile(1) != 900 {
+			t.Fatalf("p100 = %v, want max", h.Quantile(1))
+		}
+	})
+
+	t.Run("stat carries p50/p95/p99 into dumps", func(t *testing.T) {
+		r := NewRegistry()
+		h := r.Histogram("lat")
+		for i := 1; i <= 1000; i++ {
+			h.Observe(float64(i))
+		}
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var d Dump
+		if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+			t.Fatal(err)
+		}
+		s, ok := d.Histograms["lat"]
+		if !ok {
+			t.Fatal("histogram missing from dump")
+		}
+		if s.P50 != h.Quantile(0.50) || s.P95 != h.Quantile(0.95) || s.P99 != h.Quantile(0.99) {
+			t.Fatalf("dump quantiles %v/%v/%v disagree with Quantile()", s.P50, s.P95, s.P99)
+		}
+		if !(s.P50 < s.P95 && s.P95 < s.P99 && s.P99 <= 1000) {
+			t.Fatalf("quantile ordering broken: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+		}
+		// With 1000 uniform observations the pow2 estimate for p50 must at
+		// least land in the right bucket (256, 512].
+		if s.P50 <= 256 || s.P50 > 512 {
+			t.Fatalf("p50 = %v, want within (256, 512]", s.P50)
+		}
+	})
 }

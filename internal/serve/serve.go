@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -70,6 +71,13 @@ type Config struct {
 	// and ledger keys are identical at any value, so operators can turn
 	// it on fleet-wide without invalidating recorded measurements.
 	SimWorkers int
+	// StreamSubscribers bounds concurrent SSE subscribers on the
+	// server-wide /eventsz stream and on each session's event stream
+	// (<= 0 means obs.DefaultBusSubscribers). The bound is what keeps a
+	// subscriber stampede from holding goroutines: excess subscribers
+	// are answered 429, and every admitted one reads from its own
+	// bounded ring, so no reader can back-pressure a simulation.
+	StreamSubscribers int
 	// Logf receives service diagnostics (nil discards).
 	Logf func(format string, args ...any)
 }
@@ -91,8 +99,17 @@ type Server struct {
 	// metricsMu guards the registry: obs.Registry is single-goroutine by
 	// design (one per machine instance); the service shares one across
 	// HTTP and worker goroutines, so every touch goes through the lock.
+	// lastServe (same lock) is the counter baseline of the previous
+	// KindServe bus event, so /eventsz carries deltas, not levels.
 	metricsMu sync.Mutex
 	metrics   *obs.Registry
+	lastServe map[string]int64
+
+	// bus is the server-wide event plane behind GET /eventsz:
+	// admissions, session state changes and serve.* counter deltas. The
+	// bus locks internally and its publishers never block, so HTTP
+	// handlers and worker callbacks publish directly.
+	bus *obs.EventBus
 
 	draining atomic.Bool
 }
@@ -109,10 +126,12 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxSessions = 1024
 	}
 	s := &Server{
-		cfg:      cfg,
-		cache:    workload.NewBuildCache(),
-		sessions: map[string]*session{},
-		metrics:  obs.NewRegistry(),
+		cfg:       cfg,
+		cache:     workload.NewBuildCache(),
+		sessions:  map[string]*session{},
+		metrics:   obs.NewRegistry(),
+		lastServe: map[string]int64{},
+		bus:       obs.NewEventBus(0, cfg.StreamSubscribers),
 	}
 	if cfg.LedgerDir != "" {
 		led, err := sched.OpenLedger(cfg.LedgerDir)
@@ -148,10 +167,12 @@ func (s *Server) routes() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	mux.HandleFunc("GET /eventsz", s.handleEventsz)
 	mux.HandleFunc("POST /sessions", s.handleSubmit)
 	mux.HandleFunc("GET /sessions", s.handleList)
 	mux.HandleFunc("GET /sessions/{id}", s.handleGet)
 	mux.HandleFunc("GET /sessions/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /sessions/{id}/events", s.handleSessionEvents)
 	mux.HandleFunc("POST /sessions/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /sessions/{id}", s.handleCancel)
 	mux.HandleFunc("GET /sessions/{id}/artifacts/{kind}", s.handleArtifact)
@@ -294,7 +315,69 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	s.metric(func(m *obs.Registry) { m.Counter("serve.submitted").Inc() })
+	s.publishSession(sess, StateQueued)
 	writeJSON(w, http.StatusAccepted, sess.info())
+}
+
+// SessionEvent is the obs.KindSession payload on the /eventsz stream:
+// one event per session state change, with the instantaneous queue
+// depth and running count attached.
+type SessionEvent struct {
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	Key        string `json:"key"`
+	State      State  `json:"state"`
+	Cached     bool   `json:"cached,omitempty"`
+	Error      string `json:"error,omitempty"`
+	QueueDepth int    `json:"queue_depth"`
+	Running    int    `json:"running"`
+}
+
+// ServeEvent is the obs.KindServe payload: serve.* counter deltas since
+// the previous ServeEvent — the streaming form of diffing consecutive
+// /metricsz scrapes.
+type ServeEvent struct {
+	CounterDeltas map[string]int64 `json:"counter_deltas,omitempty"`
+	QueueDepth    int              `json:"queue_depth"`
+	Running       int              `json:"running"`
+}
+
+// publishSession emits a session state change (and any accumulated
+// serve.* counter deltas) onto the server-wide bus.
+func (s *Server) publishSession(sess *session, state State) {
+	queued, running := s.pool.QueueLen(), s.pool.Running()
+	ev := SessionEvent{
+		ID: sess.id, Name: sess.name, Key: sess.key, State: state,
+		QueueDepth: queued, Running: running,
+	}
+	if state.Terminal() {
+		sess.mu.Lock()
+		ev.Cached, ev.Error = sess.cached, sess.errMsg
+		sess.mu.Unlock()
+	}
+	s.bus.Publish(obs.KindSession, 0, ev)
+
+	s.metricsMu.Lock()
+	var deltas map[string]int64
+	for _, name := range s.metrics.CounterNames() {
+		if !strings.HasPrefix(name, "serve.") {
+			continue
+		}
+		v := s.metrics.Counter(name).Value()
+		if d := v - s.lastServe[name]; d != 0 {
+			if deltas == nil {
+				deltas = map[string]int64{}
+			}
+			deltas[name] = d
+			s.lastServe[name] = v
+		}
+	}
+	s.metricsMu.Unlock()
+	if deltas != nil {
+		s.bus.Publish(obs.KindServe, 0, ServeEvent{
+			CounterDeltas: deltas, QueueDepth: queued, Running: running,
+		})
+	}
 }
 
 // sessionJob builds the scheduler job executing one session. The job key
@@ -307,6 +390,7 @@ func (s *Server) sessionJob(sess *session) sched.Job[workload.Measurement] {
 		Name: sess.name,
 		RunCtx: func(ctx context.Context) (workload.Measurement, error) {
 			sess.setRunning(time.Now())
+			s.publishSession(sess, StateRunning)
 			inst, err := sess.spec.Instantiate(s.cache, sess.observer)
 			if err != nil {
 				return workload.Measurement{}, err
@@ -392,6 +476,21 @@ func (s *Server) finishSession(sess *session, res sched.Result[workload.Measurem
 	if pe != nil {
 		s.logf("serve: session %s panicked: %v\n%s", sess.id, pe.Value, pe.Stack)
 	}
+	// Terminate the session's live stream: subscribers receive every
+	// buffered event, then the end marker, then ErrBusClosed. Closing
+	// here (the single place every session reaches exactly once) is what
+	// lets stream followers treat "end" as the completeness signal.
+	if b := sess.observer.Bus(); b != nil {
+		b.Publish(obs.KindEnd, 0, EndEvent{State: state, Error: sess.errNow()})
+		b.Close()
+	}
+	s.publishSession(sess, state)
+}
+
+// EndEvent is the obs.KindEnd payload closing a session stream.
+type EndEvent struct {
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
 }
 
 // admit registers the session under a fresh id, evicting the oldest
@@ -444,9 +543,22 @@ func (s *Server) lookup(id string) (*session, bool) {
 	return sess, ok
 }
 
+// handleList is GET /sessions[?state=...]: every retained session, in a
+// stable submission-time order so a dashboard poller sees a steady list,
+// optionally filtered to one lifecycle state.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	var filter State
+	if q := r.URL.Query().Get("state"); q != "" {
+		filter = State(q)
+		switch filter {
+		case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+		default:
+			writeError(w, http.StatusBadRequest,
+				"unknown state %q (want queued, running, done, failed or cancelled)", q)
+			return
+		}
+	}
 	s.mu.Lock()
-	infos := make([]SessionInfo, 0, len(s.order))
 	sessions := make([]*session, 0, len(s.order))
 	for _, id := range s.order {
 		if sess, ok := s.sessions[id]; ok {
@@ -454,11 +566,24 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	infos := make([]SessionInfo, 0, len(sessions))
 	for _, sess := range sessions {
 		info := sess.info()
+		if filter != "" && info.State != filter {
+			continue
+		}
 		info.Result = nil // keep the listing light; fetch one session for its result
 		infos = append(infos, info)
 	}
+	// s.order is already submission order, but make the contract explicit
+	// (and robust against future eviction reshuffles): stable sort by
+	// creation time, tie-broken by id.
+	sort.SliceStable(infos, func(i, j int) bool {
+		if infos[i].CreatedAt != infos[j].CreatedAt {
+			return infos[i].CreatedAt < infos[j].CreatedAt
+		}
+		return infos[i].ID < infos[j].ID
+	})
 	writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
 }
 
@@ -564,6 +689,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.cancelLive()
 		s.pool.Wait()
 	}
+	// Every session is terminal now; end the server-wide stream so
+	// /eventsz followers unblock instead of waiting out their heartbeat.
+	s.bus.Publish(obs.KindEnd, 0, nil)
+	s.bus.Close()
 	s.logf("serve: drained (%s)", s.drainSummary())
 	return err
 }

@@ -678,3 +678,77 @@ func TestSessionSimWorkersByteIdentical(t *testing.T) {
 		t.Errorf("server-default sim_workers result differs from serial")
 	}
 }
+
+// TestListFilterAndSort: GET /sessions?state=S returns only matching
+// sessions, the listing is stable-sorted by submission time, and an
+// unknown state filter is a 400.
+func TestListFilterAndSort(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	list := func(query string) []SessionInfo {
+		resp, err := http.Get(ts.URL + "/sessions" + query)
+		if err != nil {
+			t.Fatalf("GET /sessions%s: %v", query, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("GET /sessions%s: status %d, body %s", query, resp.StatusCode, b)
+		}
+		return decodeBody[struct {
+			Sessions []SessionInfo `json:"sessions"`
+		}](t, resp).Sessions
+	}
+	ids := func(infos []SessionInfo) []string {
+		out := make([]string, len(infos))
+		for i, s := range infos {
+			out[i] = s.ID
+		}
+		return out
+	}
+
+	// One runner occupying the single worker, two queued behind it.
+	runner := submit(t, ts.URL, longSpec())
+	waitFor(t, ts.URL, runner.ID, func(i SessionInfo) bool { return i.State == StateRunning }, "running")
+	q1 := submit(t, ts.URL, shortSpec())
+	spec2 := shortSpec()
+	spec2["threads"] = 3
+	q2 := submit(t, ts.URL, spec2)
+
+	if got := ids(list("?state=running")); len(got) != 1 || got[0] != runner.ID {
+		t.Fatalf("running filter = %v", got)
+	}
+	queued := ids(list("?state=queued"))
+	if len(queued) != 2 || queued[0] != q1.ID || queued[1] != q2.ID {
+		t.Fatalf("queued filter = %v, want [%s %s] in submission order", queued, q1.ID, q2.ID)
+	}
+	if all := ids(list("")); len(all) != 3 || all[0] != runner.ID || all[1] != q1.ID || all[2] != q2.ID {
+		t.Fatalf("unfiltered listing = %v, want submission order", all)
+	}
+
+	resp, err := http.Get(ts.URL + "/sessions?state=bogus")
+	if err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus filter: %v status %d, want 400", err, resp.StatusCode)
+	}
+	body := decodeBody[errorBody](t, resp)
+	if !strings.Contains(body.Error, "queued") {
+		t.Fatalf("400 body does not list valid states: %q", body.Error)
+	}
+
+	// Drive everything terminal and check the terminal filters.
+	cancel := postJSON(t, ts.URL+"/sessions/"+runner.ID+"/cancel", nil)
+	cancel.Body.Close()
+	for _, id := range []string{runner.ID, q1.ID, q2.ID} {
+		waitTerminal(t, ts.URL, id)
+	}
+	if got := ids(list("?state=cancelled")); len(got) != 1 || got[0] != runner.ID {
+		t.Fatalf("cancelled filter = %v", got)
+	}
+	done := ids(list("?state=done"))
+	if len(done) != 2 || done[0] != q1.ID || done[1] != q2.ID {
+		t.Fatalf("done filter = %v, want [%s %s]", done, q1.ID, q2.ID)
+	}
+	if got := ids(list("?state=failed")); len(got) != 0 {
+		t.Fatalf("failed filter = %v, want empty", got)
+	}
+}

@@ -38,9 +38,15 @@ type ArtifactConfig struct {
 	TraceSamples bool `json:"trace_samples,omitempty"`
 	Metrics      bool `json:"metrics,omitempty"`
 	Decisions    bool `json:"decisions,omitempty"`
+	// Events enables the live SSE stream (GET /sessions/{id}/events):
+	// window snapshots, optimizer-pass summaries and patch-lifecycle
+	// transitions published while the session runs. The stream is fed by
+	// the metrics and decisions surfaces, so requesting it implies both
+	// (their artifacts become available too).
+	Events bool `json:"events,omitempty"`
 }
 
-func (a ArtifactConfig) any() bool { return a.Trace || a.Metrics || a.Decisions }
+func (a ArtifactConfig) any() bool { return a.Trace || a.Metrics || a.Decisions || a.Events }
 
 func (a ArtifactConfig) observer() *obs.Observer {
 	if !a.any() {
@@ -49,8 +55,9 @@ func (a ArtifactConfig) observer() *obs.Observer {
 	return obs.New(obs.Config{
 		Trace:        a.Trace,
 		SampleEvents: a.TraceSamples,
-		Metrics:      a.Metrics,
-		Decisions:    a.Decisions,
+		Metrics:      a.Metrics || a.Events,
+		Decisions:    a.Decisions || a.Events,
+		Events:       a.Events,
 	})
 }
 
@@ -155,4 +162,11 @@ func (s *session) stateNow() State {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.state
+}
+
+// errNow returns the current error message.
+func (s *session) errNow() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errMsg
 }

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -25,6 +27,13 @@ import (
 // records completed runs, (c) no worker panics, and (d) the retained
 // session store stays bounded. Run it under -race to turn the same load
 // into a data-race probe.
+//
+// The telemetry plane soaks alongside: background scrapers hammer
+// /metricsz, followers tail /eventsz for the whole run, and sessions
+// submitted with artifacts.events=true get their SSE stream followed to
+// completion — every followed stream must deliver strictly monotone ids
+// with zero drops (the event volume sits far below the subscriber
+// buffer bound) and end with the end marker.
 func TestSoak(t *testing.T) {
 	durStr := os.Getenv("COBRAD_SOAK")
 	if durStr == "" {
@@ -54,16 +63,82 @@ func TestSoak(t *testing.T) {
 		{"workload": "daxpy", "threads": 1, "daxpy_ws": 8 << 10, "daxpy_reps": 3},
 		{"workload": "daxpy", "threads": 2, "daxpy_ws": 16 << 10, "daxpy_reps": 3},
 		{"workload": "daxpy", "threads": 4, "daxpy_ws": 32 << 10, "daxpy_reps": 2,
-			"strategy": "adaptive", "artifacts": map[string]bool{"metrics": true}},
+			"strategy": "adaptive", "artifacts": map[string]bool{"metrics": true, "events": true}},
 		{"workload": "daxpy", "threads": 2, "daxpy_ws": 24 << 10, "daxpy_reps": 2,
 			"sim_workers": 2},
 		{"workload": "daxpy", "threads": 2, "daxpy_ws": 16 << 10, "daxpy_reps": 3,
 			"sim_workers": 4},
 	}
 
-	const clients = 6
+	const (
+		clients  = 6
+		scrapers = 3 // background /metricsz readers
+		tailers  = 2 // background /eventsz stream followers
+	)
 	deadline := time.Now().Add(dur)
-	var submitted, rejected, cancelledByUs atomic.Int64
+	var submitted, rejected, cancelledByUs, streamedEvents atomic.Int64
+
+	// auditStream checks the telemetry contract on one followed stream:
+	// strictly monotone ids and no drop gaps (event volume is far below
+	// the subscriber buffer bound, so any gap is a bug, not load).
+	auditStream := func(who string, events []sseEvent, comments []string) {
+		var last int64
+		for _, ev := range events {
+			if ev.id <= last {
+				t.Errorf("%s: id %d after %d — not strictly monotone", who, ev.id, last)
+				return
+			}
+			last = ev.id
+		}
+		for _, c := range comments {
+			if strings.Contains(c, "gap") {
+				t.Errorf("%s: dropped events below the buffer bound: %s", who, c)
+			}
+		}
+		streamedEvents.Add(int64(len(events)))
+	}
+
+	// Background load on the telemetry plane for the whole soak.
+	bgCtx, stopBG := context.WithCancel(context.Background())
+	var bg sync.WaitGroup
+	for i := 0; i < scrapers; i++ {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			for bgCtx.Err() == nil {
+				r, err := http.Get(ts.URL + "/metricsz")
+				if err == nil {
+					io.Copy(io.Discard, r.Body)
+					r.Body.Close()
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	for i := 0; i < tailers; i++ {
+		bg.Add(1)
+		go func(i int) {
+			defer bg.Done()
+			req, err := http.NewRequestWithContext(bgCtx, http.MethodGet, ts.URL+"/eventsz", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return // soak ended before the stream opened
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("eventsz tailer %d: status %d", i, resp.StatusCode)
+				return
+			}
+			// Reads until ctx cancellation severs the connection.
+			events, comments := readSSE(t, resp.Body, nil)
+			auditStream("eventsz tailer", events, comments)
+		}(i)
+	}
+
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -74,7 +149,9 @@ func TestSoak(t *testing.T) {
 				// run for minutes and cancels it mid-flight — the interrupt
 				// poll must stop it promptly and keep it out of the ledger.
 				cancelIter := iter%7 == 3
-				body := specs[(c+iter)%len(specs)]
+				specIdx := (c + iter) % len(specs)
+				body := specs[specIdx]
+				followStream := !cancelIter && specIdx == 2 // the events-enabled spec
 				if cancelIter {
 					body = longSpec()
 				}
@@ -100,6 +177,28 @@ func TestSoak(t *testing.T) {
 					r.Body.Close()
 					cancelledByUs.Add(1)
 				}
+				if followStream {
+					// Follow the session's SSE stream to its end marker; the
+					// server closes the connection when the session bus drains.
+					r, err := http.Get(ts.URL + "/sessions/" + info.ID + "/events")
+					if err != nil {
+						t.Errorf("client %d: follow %s: %v", c, info.ID, err)
+						return
+					}
+					if r.StatusCode != http.StatusOK {
+						b, _ := io.ReadAll(r.Body)
+						r.Body.Close()
+						t.Errorf("client %d: follow %s: status %d: %s", c, info.ID, r.StatusCode, b)
+						return
+					}
+					events, comments := readSSE(t, r.Body, nil)
+					r.Body.Close()
+					if len(events) == 0 || events[len(events)-1].kind != obs.KindEnd {
+						t.Errorf("client %d: session %s stream did not end with the end marker (%d events)",
+							c, info.ID, len(events))
+					}
+					auditStream("session follower", events, comments)
+				}
 				done := waitTerminal(t, ts.URL, info.ID)
 				if done.State == StateFailed {
 					t.Errorf("client %d: session %s failed: %s", c, info.ID, done.Error)
@@ -118,6 +217,8 @@ func TestSoak(t *testing.T) {
 		}(c)
 	}
 	wg.Wait()
+	stopBG()
+	bg.Wait()
 
 	// Drain and audit: the terminal-state counters must account for every
 	// submitted session exactly once, with no panics.
@@ -148,7 +249,7 @@ func TestSoak(t *testing.T) {
 		t.Errorf("ledger has %d entries (err %v), want 1..%d (one per distinct spec that completed)",
 			n, err, len(specs))
 	}
-	t.Logf("soak: %s, %d clients: submitted=%d completed=%d cancelled=%d (client-cancels=%d) rejected429=%d ledger_hits=%d",
+	t.Logf("soak: %s, %d clients: submitted=%d completed=%d cancelled=%d (client-cancels=%d) rejected429=%d ledger_hits=%d streamed_events=%d",
 		dur, clients, cnt["serve.submitted"], cnt["serve.completed"], cnt["serve.cancelled"],
-		cancelledByUs.Load(), rejected.Load(), cnt["serve.ledger_hits"])
+		cancelledByUs.Load(), rejected.Load(), cnt["serve.ledger_hits"], streamedEvents.Load())
 }
