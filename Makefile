@@ -9,9 +9,9 @@ GO ?= go
 BENCH_LABEL ?= $(shell date -u +%Y-%m-%d)
 SOAK_DURATION ?= 30s
 
-.PHONY: ci vet build race test bench bench-smoke trace-smoke fuzz-smoke strategy-smoke parsim-smoke stream-smoke soak-smoke results
+.PHONY: ci vet build race test bench bench-smoke trace-smoke fuzz-smoke strategy-smoke layout-smoke parsim-smoke stream-smoke soak-smoke results
 
-ci: vet build race test bench-smoke trace-smoke fuzz-smoke strategy-smoke parsim-smoke stream-smoke
+ci: vet build race test bench-smoke trace-smoke fuzz-smoke strategy-smoke layout-smoke parsim-smoke stream-smoke
 
 vet:
 	$(GO) vet ./...
@@ -93,6 +93,15 @@ stream-smoke:
 # what-if prediction with the realized IPC.
 strategy-smoke:
 	$(GO) test -count=1 ./internal/strategy/
+
+# Layout-engine gate: the full runtime (monitor threads, USB drain,
+# trigger, BOLT-style block reordering) on a hand-assembled branchy
+# kernel across repeated launches — at least one reordered copy must
+# deploy with block evidence, be judged through the relocated loop key,
+# keep exactly one resident copy in the code cache, and preserve the
+# kernel's architectural result.
+layout-smoke:
+	$(GO) test -count=1 -run 'TestLayout' ./internal/strategy/
 
 # Regenerate the committed experiment outputs through the scheduler.
 results:

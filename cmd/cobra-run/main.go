@@ -41,7 +41,7 @@ func main() {
 		name     = flag.String("workload", "daxpy", "daxpy, phased, bt, sp, lu, ft, mg, cg, ep, is")
 		threads  = flag.Int("threads", 4, "worker threads (= CPUs)")
 		machine  = flag.String("machine", "smp", "smp (front-side bus) or numa (Altix-like)")
-		strategy = flag.String("strategy", "off", "off, monitor, noprefetch, excl, adaptive, bias, multiversion, causal")
+		strategy = flag.String("strategy", "off", "off, monitor, noprefetch, excl, adaptive, bias, multiversion, causal, layout")
 		classS   = flag.Bool("class-s", true, "class-S-scaled sizes (false = tiny)")
 		ws       = flag.Int64("daxpy-ws", 128<<10, "DAXPY working set bytes")
 		reps     = flag.Int("daxpy-reps", 100, "DAXPY outer repetitions")

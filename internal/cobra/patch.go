@@ -26,9 +26,10 @@ var (
 type Rewrite uint8
 
 const (
-	RewriteNop  Rewrite = iota // noprefetch: lfetch -> nop
-	RewriteExcl                // lfetch -> lfetch.excl
-	RewriteBias                // ld8 -> ld8.bias (§4's exclusive-load hint)
+	RewriteNop    Rewrite = iota // noprefetch: lfetch -> nop
+	RewriteExcl                  // lfetch -> lfetch.excl
+	RewriteBias                  // ld8 -> ld8.bias (§4's exclusive-load hint)
+	RewriteLayout                // BOLT-style basic-block reordering of the region copy
 )
 
 func (r Rewrite) String() string {
@@ -39,6 +40,8 @@ func (r Rewrite) String() string {
 		return "excl"
 	case RewriteBias:
 		return "bias"
+	case RewriteLayout:
+		return "layout"
 	}
 	return "?"
 }
@@ -47,6 +50,8 @@ func (r Rewrite) String() string {
 // prefetch rewrites act on lfetch sites; the bias rewrite acts on plain
 // integer loads (the paper: .bias is unsupported on speculative, check,
 // acquire and floating-point loads, so ordinary ld8 is the entire domain).
+// RewriteLayout is a whole-region transform (emitLayout), never a
+// per-instruction one, so it applies to no single instruction.
 func (r Rewrite) applicable(in ia64.Instr) bool {
 	switch r {
 	case RewriteNop, RewriteExcl:
@@ -103,15 +108,31 @@ type Patcher struct {
 	img      *ia64.Image
 	useTrace bool
 	nTraces  int
+	nLayouts int
 	// cacheStart is the first slot of the code cache: everything appended
 	// by this patcher lives at or beyond it. The optimizer must never
 	// treat its own traces as optimization candidates.
 	cacheStart int
+	// patchHook, when set, intercepts every slot write the patcher makes.
+	// Tests use it to force failure paths: slot patching in this ISA model
+	// cannot fail on encoding (word1 carries the full immediate) and the
+	// patcher only writes in-range slots, so the error handling around
+	// redirects and rollbacks is otherwise unreachable.
+	patchHook func(pc int, in ia64.Instr) (ia64.Instr, error)
 }
 
 // NewPatcher builds a patcher over the running image.
 func NewPatcher(img *ia64.Image, useTrace bool) *Patcher {
 	return &Patcher{img: img, useTrace: useTrace, cacheStart: img.Len()}
+}
+
+// patchSlot is the single point through which the patcher rewrites image
+// slots (see patchHook).
+func (p *Patcher) patchSlot(pc int, in ia64.Instr) (ia64.Instr, error) {
+	if p.patchHook != nil {
+		return p.patchHook(pc, in)
+	}
+	return p.img.Patch(pc, in)
 }
 
 // InCodeCache reports whether pc lies in patcher-emitted code.
@@ -135,7 +156,7 @@ func (p *Patcher) deployInPlace(r Region, slots []int, rw Rewrite) (*Patch, erro
 		if !rw.applicable(in) {
 			continue // already rewritten by an earlier pass
 		}
-		old, err := p.img.Patch(pc, rw.apply(in))
+		old, err := p.patchSlot(pc, rw.apply(in))
 		if err != nil {
 			p.rollbackSlots(patch)
 			return nil, err
@@ -214,13 +235,22 @@ func (p *Patcher) deployTrace(r Region, slots []int, rw Rewrite) (*Patch, error)
 	if p.entryRedirected(r) {
 		return nil, fmt.Errorf("cobra: region [%d,%d] entry already in code cache: %w", r.Start, r.End, ErrAlreadyPatched)
 	}
+	preLen := p.img.Len()
+	preTraces := p.nTraces
 	v, err := p.emitTrace(r, slots, rw)
 	if err != nil {
 		return nil, err
 	}
 	// Redirect: one-word patch at the region entry.
-	old, err := p.img.Patch(r.Start, ia64.Instr{Op: ia64.OpBr, Br: ia64.BrAlways, Imm: int64(v.TraceEntry)})
+	old, err := p.patchSlot(r.Start, ia64.Instr{Op: ia64.OpBr, Br: ia64.BrAlways, Imm: int64(v.TraceEntry)})
 	if err != nil {
+		// The redirect never landed, so the emitted copy is unreachable —
+		// but unlike a rolled-back trace it was never live either, and
+		// leaving it would leak the trace, its function-table entry and the
+		// bumped trace counter on every failed deploy. Cut the image back
+		// to its pre-emit length and reclaim the name.
+		p.img.RemoveTail(preLen)
+		p.nTraces = preTraces
 		return nil, err
 	}
 	return &Patch{
@@ -238,14 +268,36 @@ func (p *Patcher) Rollback(patch *Patch) error {
 	return p.rollbackSlots(patch)
 }
 
+// rollbackSlots restores the saved instructions of a patch, newest slot
+// first. On success the slot lists are cleared; on partial failure the
+// entries that could not be restored keep their saved originals (in the
+// original slot order) so the caller can retry the rollback later —
+// unconditionally clearing them would lose the only copy of the original
+// words and leave the region permanently corrupted.
 func (p *Patcher) rollbackSlots(patch *Patch) error {
 	var firstErr error
+	var failedSlots []int
+	var failedSaved []ia64.Instr
 	for i := len(patch.Slots) - 1; i >= 0; i-- {
-		if _, err := p.img.Patch(patch.Slots[i], patch.saved[i]); err != nil && firstErr == nil {
-			firstErr = err
+		if _, err := p.patchSlot(patch.Slots[i], patch.saved[i]); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			failedSlots = append(failedSlots, patch.Slots[i])
+			failedSaved = append(failedSaved, patch.saved[i])
 		}
+	}
+	if firstErr != nil {
+		// The loop collected failures in reverse; flip back to slot order.
+		for i, j := 0, len(failedSlots)-1; i < j; i, j = i+1, j-1 {
+			failedSlots[i], failedSlots[j] = failedSlots[j], failedSlots[i]
+			failedSaved[i], failedSaved[j] = failedSaved[j], failedSaved[i]
+		}
+		patch.Slots = failedSlots
+		patch.saved = failedSaved
+		return firstErr
 	}
 	patch.Slots = nil
 	patch.saved = nil
-	return firstErr
+	return nil
 }

@@ -1,0 +1,190 @@
+package cobra
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ia64"
+)
+
+// failOn returns a patchHook that fails slot writes at the given pcs and
+// forwards everything else to the image.
+func failOn(img *ia64.Image, failErr error, pcs ...int) func(int, ia64.Instr) (ia64.Instr, error) {
+	bad := map[int]bool{}
+	for _, pc := range pcs {
+		bad[pc] = true
+	}
+	return func(pc int, in ia64.Instr) (ia64.Instr, error) {
+		if bad[pc] {
+			return ia64.Instr{}, failErr
+		}
+		return img.Patch(pc, in)
+	}
+}
+
+// TestDeployTraceUnwindsOnFailedRedirect pins the orphaned-trace fix: if
+// the entry redirect fails after the trace was emitted, the emitted copy,
+// its function-table entry and the trace counter must all be unwound —
+// otherwise every failed deploy leaks an unreachable trace and burns a
+// trace name.
+func TestDeployTraceUnwindsOnFailedRedirect(t *testing.T) {
+	img, _, region, pfs := buildLoopImage(t)
+	p := NewPatcher(img, true)
+	preLen := img.Len()
+
+	failErr := errors.New("redirect refused")
+	p.patchHook = failOn(img, failErr, region.Start)
+	if _, err := p.Deploy(region, pfs, RewriteNop); !errors.Is(err, failErr) {
+		t.Fatalf("deploy error = %v, want %v", err, failErr)
+	}
+	if img.Len() != preLen {
+		t.Fatalf("image len %d after failed redirect, want %d (trace leaked)", img.Len(), preLen)
+	}
+	if _, ok := img.FuncAt(preLen); ok {
+		t.Fatal("orphaned trace still in function table")
+	}
+	if _, ok := img.LookupFunc("cobra.trace1"); ok {
+		t.Fatal("trace name registered despite unwind")
+	}
+	if in := img.Fetch(region.Start); in.IsBranch() {
+		t.Fatal("entry redirected despite failed patch")
+	}
+
+	// Retry without the fault: the unwind left the patcher reusable, the
+	// counter unleaked (this is still trace 1) and the cache compact.
+	p.patchHook = nil
+	patch, err := p.Deploy(region, pfs, RewriteNop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patch.TraceEntry != preLen {
+		t.Fatalf("retry trace entry %d, want %d (cache not compact)", patch.TraceEntry, preLen)
+	}
+	if f, ok := img.FuncAt(patch.TraceEntry); !ok || f.Name != "cobra.trace1" {
+		t.Fatalf("retry trace func = (%+v, %v), want cobra.trace1", f, ok)
+	}
+}
+
+// TestRollbackRetainsFailedSlotsForRetry pins the partial-rollback fix:
+// a slot whose restore fails must keep its saved original in the patch
+// (rather than the patch being cleared wholesale), so a later retry can
+// still restore it — clearing would lose the only copy of the original
+// word and leave the region permanently corrupted.
+func TestRollbackRetainsFailedSlotsForRetry(t *testing.T) {
+	img, _, region, pfs := buildLoopImage(t)
+	p := NewPatcher(img, false)
+	patch, err := p.Deploy(region, pfs, RewriteNop)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stuck := pfs[1]
+	failErr := errors.New("slot stuck")
+	p.patchHook = failOn(img, failErr, stuck)
+	if err := p.Rollback(patch); !errors.Is(err, failErr) {
+		t.Fatalf("rollback error = %v, want %v", err, failErr)
+	}
+	if len(patch.Slots) != 1 || patch.Slots[0] != stuck {
+		t.Fatalf("patch.Slots = %v after partial failure, want [%d]", patch.Slots, stuck)
+	}
+	if len(patch.saved) != 1 || patch.saved[0].Op != ia64.OpLfetch {
+		t.Fatalf("patch.saved = %+v, want the stuck slot's original lfetch", patch.saved)
+	}
+	if img.Fetch(pfs[0]).Op != ia64.OpLfetch || img.Fetch(pfs[2]).Op != ia64.OpLfetch {
+		t.Fatal("restorable slots were not restored")
+	}
+	if img.Fetch(stuck).Op != ia64.OpNop {
+		t.Fatal("stuck slot changed despite failing patch")
+	}
+
+	// Retry once the fault clears: the retained entry restores the slot
+	// and the patch finally empties.
+	p.patchHook = nil
+	if err := p.Rollback(patch); err != nil {
+		t.Fatal(err)
+	}
+	if patch.Slots != nil || patch.saved != nil {
+		t.Fatalf("patch not cleared after successful retry: %v", patch.Slots)
+	}
+	if img.Fetch(stuck).Op != ia64.OpLfetch {
+		t.Fatal("stuck slot not restored on retry")
+	}
+}
+
+// TestRollbackPreservesMultipleFailedSlotsInOrder checks that when
+// several restores fail, the surviving entries come back in original
+// slot order (the loop walks newest-first) with saved words aligned.
+func TestRollbackPreservesMultipleFailedSlotsInOrder(t *testing.T) {
+	img, _, region, pfs := buildLoopImage(t)
+	p := NewPatcher(img, false)
+	patch, err := p.Deploy(region, pfs, RewriteNop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]ia64.Instr(nil), patch.saved...)
+
+	failErr := errors.New("two slots stuck")
+	p.patchHook = failOn(img, failErr, pfs[0], pfs[2])
+	if err := p.Rollback(patch); !errors.Is(err, failErr) {
+		t.Fatalf("rollback error = %v, want %v", err, failErr)
+	}
+	if len(patch.Slots) != 2 || patch.Slots[0] != pfs[0] || patch.Slots[1] != pfs[2] {
+		t.Fatalf("patch.Slots = %v, want [%d %d] in slot order", patch.Slots, pfs[0], pfs[2])
+	}
+	if patch.saved[0] != saved[0] || patch.saved[1] != saved[2] {
+		t.Fatalf("saved words misaligned with surviving slots: %+v", patch.saved)
+	}
+	if img.Fetch(pfs[1]).Op != ia64.OpLfetch {
+		t.Fatal("middle slot should have been restored")
+	}
+
+	p.patchHook = nil
+	if err := p.Rollback(patch); err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range pfs {
+		if img.Fetch(pc).Op != ia64.OpLfetch {
+			t.Fatalf("slot %d not restored after retry", pc)
+		}
+	}
+}
+
+// TestTraceRelocatesBranchTargetingRegionEntry covers the relocation
+// edge where a backward branch targets the region entry slot itself —
+// the same slot deployTrace later overwrites with the dispatch branch.
+// The copy must branch to the trace-local entry, never back through the
+// original (now redirected) slot.
+func TestTraceRelocatesBranchTargetingRegionEntry(t *testing.T) {
+	img := ia64.NewImage()
+	a := ia64.NewAsm(img, "g")
+	a.Label("top")
+	pf := a.Emit(ia64.Instr{Op: ia64.OpLfetch, R2: 24, Hint: ia64.HintNT1})
+	a.Emit(ia64.Instr{Op: ia64.OpAddI, R1: 24, R2: 24, Imm: 8})
+	br := a.Br(ia64.BrCloop, 0, "top")
+	a.Emit(ia64.Instr{Op: ia64.OpHalt})
+	entry, err := a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := Region{
+		Key:   LoopKey{Head: entry, BranchPC: entry + br},
+		Start: entry, End: entry + br, FuncName: "g",
+	}
+
+	p := NewPatcher(img, true)
+	patch, err := p.Deploy(region, []int{entry + pf}, RewriteNop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loopBr := img.Fetch(patch.TraceEntry + br)
+	if loopBr.Op != ia64.OpBr || loopBr.Br != ia64.BrCloop {
+		t.Fatalf("slot at trace offset %d = %+v, want the copied cloop", br, loopBr)
+	}
+	if int(loopBr.Imm) != patch.TraceEntry {
+		t.Fatalf("copied loop branch targets %d, want trace entry %d (would re-enter the dispatch branch)",
+			loopBr.Imm, patch.TraceEntry)
+	}
+	if patch.ActiveKey.Head != patch.TraceEntry || patch.ActiveKey.BranchPC != patch.TraceEntry+br {
+		t.Fatalf("ActiveKey = %+v, want trace-relative {%d %d}", patch.ActiveKey, patch.TraceEntry, patch.TraceEntry+br)
+	}
+}

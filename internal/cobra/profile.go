@@ -45,6 +45,20 @@ type LoopStat struct {
 	Count int64
 }
 
+// BranchEdge is one taken control transfer observed through the BTB:
+// branch slot → target slot, in image addresses. Unlike LoopKey it keeps
+// forward branches too — the raw material of basic-block layout.
+type BranchEdge struct {
+	From int
+	To   int
+}
+
+// EdgeStat is the observation count of one taken edge.
+type EdgeStat struct {
+	Edge  BranchEdge
+	Count int64
+}
+
 // Delinquent aggregates DEAR captures of one load instruction that passed
 // the coherent-latency filter.
 type Delinquent struct {
@@ -115,6 +129,7 @@ type Profiler struct {
 
 	window     Window
 	loops      map[LoopKey]int64
+	edges      map[BranchEdge]int64
 	delinquent map[int]*Delinquent
 }
 
@@ -125,6 +140,7 @@ func NewProfiler(coherentLatency int64) *Profiler {
 		coherentLatency: coherentLatency,
 		prev:            map[int][hpm.NumCounters]hpm.Counter{},
 		loops:           map[LoopKey]int64{},
+		edges:           map[BranchEdge]int64{},
 		delinquent:      map[int]*Delinquent{},
 	}
 }
@@ -154,11 +170,14 @@ func (p *Profiler) Add(s perfmon.Sample) {
 	}
 	p.prev[s.CPU] = s.Counters
 
-	// BTB: backward taken branches are loop latches.
+	// BTB: backward taken branches are loop latches; every taken pair
+	// (forward skips included) also feeds the edge profile block layout
+	// consumes.
 	for _, b := range s.BTB {
 		if b.TargetPC <= b.BranchPC {
 			p.loops[LoopKey{Head: b.TargetPC, BranchPC: b.BranchPC}]++
 		}
+		p.edges[BranchEdge{From: b.BranchPC, To: b.TargetPC}]++
 	}
 
 	// DEAR: second-level latency filter isolates coherent misses.
@@ -202,6 +221,24 @@ func (p *Profiler) HotLoops(minSamples int64) []LoopStat {
 	return out
 }
 
+// TakenEdges returns every taken branch edge observed in the current
+// window with its count, ordered by (From, To) so engines can fold the
+// window profile into their own accumulators without map iteration order
+// leaking into decisions.
+func (p *Profiler) TakenEdges() []EdgeStat {
+	out := make([]EdgeStat, 0, len(p.edges))
+	for e, c := range p.edges {
+		out = append(out, EdgeStat{Edge: e, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Edge.From != out[j].Edge.From {
+			return out[i].Edge.From < out[j].Edge.From
+		}
+		return out[i].Edge.To < out[j].Edge.To
+	})
+	return out
+}
+
 // DelinquentLoads returns loads with at least minSamples coherent-latency
 // captures, most frequent first.
 func (p *Profiler) DelinquentLoads(minSamples int64) []Delinquent {
@@ -225,5 +262,6 @@ func (p *Profiler) DelinquentLoads(minSamples int64) []Delinquent {
 func (p *Profiler) ResetWindow() {
 	p.window = Window{}
 	p.loops = map[LoopKey]int64{}
+	p.edges = map[BranchEdge]int64{}
 	p.delinquent = map[int]*Delinquent{}
 }

@@ -161,6 +161,9 @@ func New(m *machine.Machine, cfg Config) *Runtime {
 	if cfg.Obs == nil {
 		cfg.Obs = m.Observer()
 	}
+	if cfg.PatchJournalBound > 0 {
+		m.Image().SetPatchJournalBound(cfg.PatchJournalBound)
+	}
 	// The Stats counters always live in a registry: the observer's when
 	// metrics are enabled (so they export with everything else), a private
 	// one otherwise.
@@ -623,8 +626,8 @@ func (r *Runtime) deployOptimizations(win Window, now int64) {
 				tr.Instant("patch", fmt.Sprintf("deployed %s @%#x", ev.Rewrite, k.Head),
 					obs.TIDPatch, now, map[string]any{
 						"region": k.Head, "slots": len(patch.Slots),
-						"rewritten": patch.RewrittenPrefetches,
-						"trace":     patch.TraceEntry >= 0,
+						"rewritten":    patch.RewrittenPrefetches,
+						"trace":        patch.TraceEntry >= 0,
 						"baseline_ipc": st.Baseline,
 					})
 			}

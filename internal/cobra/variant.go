@@ -117,7 +117,7 @@ func (p *Patcher) Switch(vs *VariantSet, idx int) error {
 	if idx >= 0 {
 		in = ia64.Instr{Op: ia64.OpBr, Br: ia64.BrAlways, Imm: int64(vs.Variants[idx].TraceEntry)}
 	}
-	if _, err := p.img.Patch(vs.Region.Start, in); err != nil {
+	if _, err := p.patchSlot(vs.Region.Start, in); err != nil {
 		return err
 	}
 	vs.active = idx

@@ -40,12 +40,24 @@ type Image struct {
 	funcs []Func
 	gen   atomic.Uint64
 
+	// byEntry indexes funcs sorted by ascending Entry, and maxEnd[i] is
+	// the largest End among funcs[byEntry[0..i]]. Together they make
+	// FuncAt a binary search plus a bounded leftward walk: with disjoint
+	// functions (the normal case) the walk visits at most one candidate,
+	// and the prefix-max keeps lookups correct even if overlapping ranges
+	// are ever registered.
+	byEntry []int
+	maxEnd  []int
+
 	// plog journals Patch calls since generation plogBase: an entry per
 	// patch, recording the generation that patch produced and the slot it
 	// rewrote. Appends need no entries — they only extend the image, and
 	// SyncDecode copies the tail positionally.
 	plog     []patchRec
 	plogBase uint64 // complete history is available for gens > plogBase
+	// plogCap overrides the default plogMax journal bound when > 0
+	// (SetPatchJournalBound).
+	plogCap int
 }
 
 // patchRec is one patch journal entry.
@@ -54,10 +66,12 @@ type patchRec struct {
 	pc  int
 }
 
-// plogMax bounds the patch journal; once exceeded, the oldest half is
-// dropped and decode caches older than the drop point fall back to a full
-// re-fetch. COBRA patches a handful of slots per optimizer pass, so in
-// practice the journal never wraps between two executions of a CPU.
+// plogMax is the default patch-journal bound; once exceeded, the oldest
+// half is dropped and decode caches older than the drop point fall back
+// to a full re-fetch. The hint-rewrite engines patch a handful of slots
+// per optimizer pass, so for them the journal never wraps between two
+// executions of a CPU; heavier patch planes (block layout) can raise the
+// bound per image with SetPatchJournalBound.
 const plogMax = 512
 
 // NewImage returns an empty image.
@@ -74,9 +88,12 @@ func (im *Image) Clone() *Image {
 	im.mu.RLock()
 	defer im.mu.RUnlock()
 	c := &Image{
-		words: append([]Word(nil), im.words...),
-		dec:   append([]Instr(nil), im.dec...),
-		funcs: append([]Func(nil), im.funcs...),
+		words:   append([]Word(nil), im.words...),
+		dec:     append([]Instr(nil), im.dec...),
+		funcs:   append([]Func(nil), im.funcs...),
+		byEntry: append([]int(nil), im.byEntry...),
+		maxEnd:  append([]int(nil), im.maxEnd...),
+		plogCap: im.plogCap,
 	}
 	c.gen.Store(im.gen.Load())
 	// The clone starts with an empty journal: any decode cache attaching to
@@ -124,6 +141,48 @@ func (im *Image) AddFunc(name string, entry, end int) {
 	im.mu.Lock()
 	defer im.mu.Unlock()
 	im.funcs = append(im.funcs, Func{Name: name, Entry: entry, End: end})
+	im.indexFunc(len(im.funcs) - 1)
+}
+
+// indexFunc inserts funcs[fi] into the sorted-by-entry FuncAt index and
+// repairs the prefix-max-End array from the insertion point on. Caller
+// holds im.mu.
+func (im *Image) indexFunc(fi int) {
+	entry := im.funcs[fi].Entry
+	pos := sort.Search(len(im.byEntry), func(i int) bool {
+		return im.funcs[im.byEntry[i]].Entry > entry
+	})
+	im.byEntry = append(im.byEntry, 0)
+	copy(im.byEntry[pos+1:], im.byEntry[pos:])
+	im.byEntry[pos] = fi
+	im.maxEnd = append(im.maxEnd, 0)
+	for i := pos; i < len(im.byEntry); i++ {
+		e := im.funcs[im.byEntry[i]].End
+		if i > 0 && im.maxEnd[i-1] > e {
+			e = im.maxEnd[i-1]
+		}
+		im.maxEnd[i] = e
+	}
+}
+
+// rebuildFuncIndex recomputes the FuncAt index from scratch. Caller
+// holds im.mu.
+func (im *Image) rebuildFuncIndex() {
+	im.byEntry = im.byEntry[:0]
+	im.maxEnd = im.maxEnd[:0]
+	for i := range im.funcs {
+		im.byEntry = append(im.byEntry, i)
+	}
+	sort.SliceStable(im.byEntry, func(a, b int) bool {
+		return im.funcs[im.byEntry[a]].Entry < im.funcs[im.byEntry[b]].Entry
+	})
+	for i, fi := range im.byEntry {
+		e := im.funcs[fi].End
+		if i > 0 && im.maxEnd[i-1] > e {
+			e = im.maxEnd[i-1]
+		}
+		im.maxEnd = append(im.maxEnd, e)
+	}
 }
 
 // Funcs returns a copy of the function table in entry order.
@@ -148,12 +207,20 @@ func (im *Image) LookupFunc(name string) (Func, bool) {
 	return Func{}, false
 }
 
-// FuncAt returns the function containing slot pc.
+// FuncAt returns the function containing slot pc. The lookup binary-
+// searches the sorted-by-entry index (layout-style patching registers a
+// code-cache func per deployed copy, so the table grows far beyond what
+// the original linear scan was sized for), then walks left only while
+// the prefix-max End still covers pc — one probe when functions are
+// disjoint.
 func (im *Image) FuncAt(pc int) (Func, bool) {
 	im.mu.RLock()
 	defer im.mu.RUnlock()
-	for _, f := range im.funcs {
-		if pc >= f.Entry && pc < f.End {
+	i := sort.Search(len(im.byEntry), func(i int) bool {
+		return im.funcs[im.byEntry[i]].Entry > pc
+	}) - 1
+	for ; i >= 0 && im.maxEnd[i] > pc; i-- {
+		if f := im.funcs[im.byEntry[i]]; pc >= f.Entry && pc < f.End {
 			return f, true
 		}
 	}
@@ -206,12 +273,64 @@ func (im *Image) Patch(pc int, in Instr) (Instr, error) {
 	im.dec[pc] = chk
 	gen := im.gen.Add(1)
 	im.plog = append(im.plog, patchRec{gen: gen, pc: pc})
-	if len(im.plog) > plogMax {
+	bound := plogMax
+	if im.plogCap > 0 {
+		bound = im.plogCap
+	}
+	if len(im.plog) > bound {
 		drop := len(im.plog) / 2
 		im.plogBase = im.plog[drop-1].gen
 		im.plog = append(im.plog[:0], im.plog[drop:]...)
 	}
 	return old, nil
+}
+
+// SetPatchJournalBound overrides the patch-journal length bound (default
+// plogMax). Strategies that patch many slots per optimizer pass — block-
+// layout deployment patches an order of magnitude more than the hint
+// rewrites plogMax was sized for — raise it so concurrently executing
+// CPUs keep resynchronizing incrementally instead of silently falling
+// back to full image refetches. Values below 2 are clamped to 2 (the
+// overflow policy drops half the journal, which needs at least one
+// surviving record).
+func (im *Image) SetPatchJournalBound(n int) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if n < 2 {
+		n = 2
+	}
+	im.plogCap = n
+}
+
+// RemoveTail truncates the image to n slots, dropping every function
+// whose entry lies at or beyond the cut. It exists so the patcher can
+// unwind a partially deployed trace — emitted copy plus function-table
+// entry — when the subsequent entry-slot redirect fails; it is not a
+// general editing primitive, and callers must own the entire tail they
+// cut. Removal resets the journal base to the post-removal generation:
+// a later Append may reuse the freed slots with different content, and
+// since appends are not journaled, a cache synced before the removal
+// could otherwise resynchronize "incrementally" while still holding the
+// removed tail. Forcing those caches onto the full-refetch path is the
+// only correct option.
+func (im *Image) RemoveTail(n int) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if n < 0 || n >= len(im.dec) {
+		return
+	}
+	im.words = im.words[:2*n]
+	im.dec = im.dec[:n]
+	kept := im.funcs[:0]
+	for _, f := range im.funcs {
+		if f.Entry < n {
+			kept = append(kept, f)
+		}
+	}
+	im.funcs = kept
+	im.rebuildFuncIndex()
+	im.plog = im.plog[:0]
+	im.plogBase = im.gen.Add(1)
 }
 
 // SyncDecode brings a decode cache dst, last synchronized at generation

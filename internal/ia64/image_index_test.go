@@ -1,0 +1,430 @@
+package ia64
+
+import "testing"
+
+// distinct returns an instruction whose encoding is unique per i, so a
+// stale cache slot can never coincidentally match fresh content.
+func distinct(i int) Instr {
+	return Instr{Op: OpMovI, R1: uint8(i % 32), Imm: int64(1000 + i)}
+}
+
+func sameStream(t *testing.T, step string, got []Instr, img *Image) {
+	t.Helper()
+	if len(got) != img.Len() {
+		t.Fatalf("%s: cache len %d, image len %d", step, len(got), img.Len())
+	}
+	for pc := range got {
+		if got[pc] != img.Fetch(pc) {
+			t.Fatalf("%s: slot %d stale: %+v vs %+v", step, pc, got[pc], img.Fetch(pc))
+		}
+	}
+}
+
+func TestFuncAtIndexOutOfOrderRegistration(t *testing.T) {
+	img := NewImage()
+	for i := 0; i < 40; i++ {
+		img.Append(Instr{Op: OpNop})
+	}
+	// Register out of address order, as trace/layout emission does when
+	// code-cache functions land after workload functions are re-sorted.
+	img.AddFunc("c", 30, 40)
+	img.AddFunc("a", 0, 10)
+	img.AddFunc("b", 12, 20)
+
+	cases := []struct {
+		pc   int
+		want string
+		ok   bool
+	}{
+		{-1, "", false},
+		{0, "a", true},
+		{9, "a", true},
+		{10, "", false}, // End is exclusive
+		{11, "", false}, // gap between a and b
+		{12, "b", true},
+		{19, "b", true},
+		{20, "", false},
+		{29, "", false},
+		{30, "c", true},
+		{39, "c", true},
+		{40, "", false},
+		{1000, "", false},
+	}
+	check := func(im *Image, label string) {
+		t.Helper()
+		for _, c := range cases {
+			f, ok := im.FuncAt(c.pc)
+			if ok != c.ok || (ok && f.Name != c.want) {
+				t.Fatalf("%s: FuncAt(%d) = (%q, %v), want (%q, %v)",
+					label, c.pc, f.Name, ok, c.want, c.ok)
+			}
+		}
+	}
+	check(img, "original")
+	check(img.Clone(), "clone") // Clone must carry the index, not just funcs
+}
+
+// TestFuncAtNestedRanges exercises the prefix-max-End walk-back: a pc
+// inside an outer function but past an inner function's End must not stop
+// at the inner entry (the rightmost Entry <= pc) and report a miss.
+func TestFuncAtNestedRanges(t *testing.T) {
+	img := NewImage()
+	for i := 0; i < 100; i++ {
+		img.Append(Instr{Op: OpNop})
+	}
+	img.AddFunc("outer", 0, 100)
+	img.AddFunc("inner", 10, 20)
+
+	f, ok := img.FuncAt(50)
+	if !ok || f.Name != "outer" {
+		t.Fatalf("FuncAt(50) = (%q, %v), want outer past inner's End", f.Name, ok)
+	}
+	f, ok = img.FuncAt(15)
+	if !ok || 15 < f.Entry || 15 >= f.End {
+		t.Fatalf("FuncAt(15) = (%+v, %v), want a containing function", f, ok)
+	}
+	f, ok = img.FuncAt(5)
+	if !ok || f.Name != "outer" {
+		t.Fatalf("FuncAt(5) = (%q, %v), want outer", f.Name, ok)
+	}
+}
+
+// TestFuncAtMatchesLinearScan cross-checks the binary-search index against
+// a brute-force scan over every pc around a gappy, out-of-order function
+// table — the reference semantics FuncAt replaced.
+func TestFuncAtMatchesLinearScan(t *testing.T) {
+	img := NewImage()
+	for i := 0; i < 64; i++ {
+		img.Append(Instr{Op: OpNop})
+	}
+	// Non-overlapping, registered out of order, with gaps.
+	img.AddFunc("f3", 40, 48)
+	img.AddFunc("f0", 0, 7)
+	img.AddFunc("f2", 20, 33)
+	img.AddFunc("f1", 9, 14)
+	img.AddFunc("f4", 50, 64)
+
+	funcs := img.Funcs()
+	for pc := -2; pc <= img.Len()+2; pc++ {
+		var want Func
+		wantOK := false
+		for _, f := range funcs {
+			if pc >= f.Entry && pc < f.End {
+				want, wantOK = f, true
+				break
+			}
+		}
+		got, ok := img.FuncAt(pc)
+		if ok != wantOK || got != want {
+			t.Fatalf("FuncAt(%d) = (%+v, %v), linear scan says (%+v, %v)",
+				pc, got, ok, want, wantOK)
+		}
+	}
+}
+
+// TestRemoveTailInvalidatesPreRemovalCaches pins the cache-coherence
+// contract of code-cache unwinding: appends are not journaled, so after a
+// RemoveTail the freed slots can be reused with different content at a
+// matching length — a decode cache synced before the removal must be
+// forced onto the full-refetch path (-1), never an incremental replay
+// that would keep the removed tail alive.
+func TestRemoveTailInvalidatesPreRemovalCaches(t *testing.T) {
+	img := NewImage()
+	for i := 0; i < 16; i++ {
+		img.Append(distinct(i))
+	}
+	img.AddFunc("head", 0, 8)
+	img.AddFunc("tail", 8, 16)
+
+	dec, gen := syncAll(img)
+
+	img.RemoveTail(8)
+	if img.Len() != 8 {
+		t.Fatalf("Len = %d after RemoveTail(8), want 8", img.Len())
+	}
+	if _, ok := img.FuncAt(12); ok {
+		t.Fatal("FuncAt inside removed tail still resolves")
+	}
+	if f, ok := img.FuncAt(4); !ok || f.Name != "head" {
+		t.Fatalf("FuncAt(4) = (%+v, %v), want head", f, ok)
+	}
+	if _, ok := img.LookupFunc("tail"); ok {
+		t.Fatal("removed-tail function still registered")
+	}
+
+	// Reuse the freed slots with different content, restoring the exact
+	// pre-removal length — the trap an incremental resync would fall into.
+	for i := 0; i < 8; i++ {
+		img.Append(distinct(100 + i))
+	}
+	img.AddFunc("tail2", 8, 16)
+
+	dec, gen, n := img.SyncDecodeStats(dec, gen)
+	if n != -1 {
+		t.Fatalf("pre-removal cache resynced incrementally (n=%d), want -1 full refetch", n)
+	}
+	if gen != img.Generation() {
+		t.Fatalf("gen = %d, want %d", gen, img.Generation())
+	}
+	sameStream(t, "after remove+reappend", dec, img)
+	if f, ok := img.FuncAt(12); !ok || f.Name != "tail2" {
+		t.Fatalf("FuncAt(12) = (%+v, %v), want tail2", f, ok)
+	}
+}
+
+func TestRemoveTailOutOfRangeIsNoop(t *testing.T) {
+	img := NewImage()
+	img.Append(distinct(0), distinct(1))
+	gen := img.Generation()
+	img.RemoveTail(-1)
+	img.RemoveTail(2)
+	img.RemoveTail(7)
+	if img.Len() != 2 || img.Generation() != gen {
+		t.Fatalf("no-op RemoveTail changed image: len=%d gen=%d", img.Len(), img.Generation())
+	}
+}
+
+// TestPatchJournalBoundaryAfterOverflowDrop runs a mirror model of the
+// journal drop policy beside the real image and asserts the exact
+// boundary: a cache synced at precisely plogBase (the generation of the
+// last dropped record) still replays incrementally, one generation older
+// falls back to a full refetch, and both paths produce byte-identical
+// decode streams.
+func TestPatchJournalBoundaryAfterOverflowDrop(t *testing.T) {
+	const bound = 8
+	img := NewImage()
+	for i := 0; i < 24; i++ {
+		img.Append(distinct(i))
+	}
+	img.SetPatchJournalBound(bound)
+
+	snap := map[uint64][]Instr{}
+	record := func() {
+		snap[img.Generation()] = img.FetchRange(0, img.Len(), nil)
+	}
+	record()
+
+	var entries []uint64 // mirror of the journal's generations
+	var modelBase uint64 // mirror of plogBase
+	drops := 0
+	for k := 0; k < 40; k++ {
+		if _, err := img.Patch((k*7)%24, distinct(500+k)); err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, img.Generation())
+		record()
+		if len(entries) > bound {
+			drop := len(entries) / 2
+			modelBase = entries[drop-1]
+			entries = append(entries[:0], entries[drop:]...)
+			drops++
+		}
+	}
+	if drops < 2 {
+		t.Fatalf("only %d journal drops; stress did not exercise compaction", drops)
+	}
+
+	cacheAt := func(g uint64) []Instr {
+		s, ok := snap[g]
+		if !ok {
+			t.Fatalf("no snapshot at generation %d", g)
+		}
+		return append([]Instr(nil), s...)
+	}
+
+	// have == plogBase: the oldest generation the journal still covers.
+	dec, gen, n := img.SyncDecodeStats(cacheAt(modelBase), modelBase)
+	if n < 0 {
+		t.Fatalf("sync at have==plogBase fell back to full refetch (n=%d)", n)
+	}
+	if n != len(entries) {
+		t.Fatalf("sync at plogBase replayed %d slots, mirror journal has %d", n, len(entries))
+	}
+	if gen != img.Generation() {
+		t.Fatalf("gen = %d, want %d", gen, img.Generation())
+	}
+	sameStream(t, "incremental at plogBase", dec, img)
+
+	// have == plogBase-1: one generation past the journal's reach.
+	dec2, _, n2 := img.SyncDecodeStats(cacheAt(modelBase-1), modelBase-1)
+	if n2 != -1 {
+		t.Fatalf("sync at plogBase-1 replayed %d, want -1", n2)
+	}
+	sameStream(t, "fallback at plogBase-1", dec2, img)
+	for pc := range dec {
+		if dec[pc] != dec2[pc] {
+			t.Fatalf("slot %d differs between incremental and fallback paths", pc)
+		}
+	}
+}
+
+// TestSetPatchJournalBoundRaisesIncrementalWindow exercises both
+// directions of the tunable: a raised bound keeps a cache incremental
+// across more patches than the default journal survives, and a bound
+// below the minimum clamps to 2 rather than disabling compaction.
+func TestSetPatchJournalBoundRaisesIncrementalWindow(t *testing.T) {
+	img := NewImage()
+	for i := 0; i < 8; i++ {
+		img.Append(distinct(i))
+	}
+	img.SetPatchJournalBound(2048)
+	dec, gen := syncAll(img)
+	total := plogMax + 200
+	for i := 0; i < total; i++ {
+		if _, err := img.Patch(i%8, distinct(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, gen, n := img.SyncDecodeStats(dec, gen)
+	if n != total {
+		t.Fatalf("raised bound replayed %d slots, want %d (no compaction)", n, total)
+	}
+	sameStream(t, "raised bound", dec, img)
+	_ = gen
+
+	img2 := NewImage()
+	for i := 0; i < 4; i++ {
+		img2.Append(distinct(i))
+	}
+	img2.SetPatchJournalBound(0) // clamps to 2
+	dec2, gen2 := syncAll(img2)
+	for i := 0; i < 3; i++ {
+		if _, err := img2.Patch(i, distinct(50+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three patches against a bound of 2 drop the first record, so a
+	// cache from before the first patch must full-refetch.
+	dec2, _, n2 := img2.SyncDecodeStats(dec2, gen2)
+	if n2 != -1 {
+		t.Fatalf("clamped bound replayed %d, want -1 after compaction", n2)
+	}
+	sameStream(t, "clamped bound", dec2, img2)
+}
+
+// TestSyncDecodeStatsShortCacheEdges is the table-driven edge suite for
+// the incremental path: patches landing beyond the cache's length must
+// not be counted as replays (the positional tail copy delivers them), and
+// interleaved appends must not desynchronize the replay accounting.
+func TestSyncDecodeStatsShortCacheEdges(t *testing.T) {
+	type step struct {
+		patchPC int // -1: no patch
+		appendN int
+	}
+	cases := []struct {
+		name    string
+		initial int
+		steps   []step
+		wantN   int
+	}{
+		{
+			name:    "patch beyond cache length only",
+			initial: 8,
+			steps:   []step{{patchPC: -1, appendN: 4}, {patchPC: 10}},
+			wantN:   0,
+		},
+		{
+			name:    "in-range patches interleaved with appends and beyond-range patches",
+			initial: 8,
+			steps: []step{
+				{patchPC: 2},
+				{patchPC: -1, appendN: 2},
+				{patchPC: 9},
+				{patchPC: -1, appendN: 1},
+				{patchPC: 1},
+			},
+			wantN: 2,
+		},
+		{
+			name:    "same beyond-range slot journaled twice",
+			initial: 6,
+			steps: []step{
+				{patchPC: -1, appendN: 2},
+				{patchPC: 7},
+				{patchPC: 7},
+				{patchPC: 3},
+			},
+			wantN: 1,
+		},
+		{
+			name:    "append only",
+			initial: 4,
+			steps:   []step{{patchPC: -1, appendN: 5}},
+			wantN:   0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := NewImage()
+			for i := 0; i < tc.initial; i++ {
+				img.Append(distinct(i))
+			}
+			dec, gen := syncAll(img)
+			for si, s := range tc.steps {
+				for i := 0; i < s.appendN; i++ {
+					img.Append(distinct(200 + 10*si + i))
+				}
+				if s.patchPC >= 0 {
+					if _, err := img.Patch(s.patchPC, distinct(300+10*si)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			dec, gen, n := img.SyncDecodeStats(dec, gen)
+			if n != tc.wantN {
+				t.Fatalf("replayed %d slots, want %d", n, tc.wantN)
+			}
+			if gen != img.Generation() {
+				t.Fatalf("gen = %d, want %d", gen, img.Generation())
+			}
+			sameStream(t, "after steps", dec, img)
+		})
+	}
+}
+
+// TestSyncDecodeStatsCloneJournalBase pins the clone's journal base: a
+// cache attaching at exactly the clone generation is up to date, stays
+// incremental across the clone's own patches, and a cache claiming a
+// pre-clone generation (whose history the clone never had) full-fetches.
+func TestSyncDecodeStatsCloneJournalBase(t *testing.T) {
+	img := NewImage()
+	for i := 0; i < 8; i++ {
+		img.Append(distinct(i))
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := img.Patch(i, distinct(40+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := img.Clone()
+	cloneGen := c.Generation()
+
+	dec := c.FetchRange(0, c.Len(), nil)
+	dec, gen, n := c.SyncDecodeStats(dec, cloneGen)
+	if n != 0 || gen != cloneGen {
+		t.Fatalf("sync at clone generation: n=%d gen=%d, want 0/%d", n, gen, cloneGen)
+	}
+
+	if _, err := c.Patch(3, distinct(77)); err != nil {
+		t.Fatal(err)
+	}
+	dec, gen, n = c.SyncDecodeStats(dec, gen)
+	if n != 1 {
+		t.Fatalf("one clone patch replayed %d slots, want exactly 1", n)
+	}
+	sameStream(t, "clone incremental", dec, c)
+
+	stale := make([]Instr, c.Len())
+	stale, _, n = c.SyncDecodeStats(stale, cloneGen-1)
+	if n != -1 {
+		t.Fatalf("pre-clone generation replayed %d, want -1", n)
+	}
+	sameStream(t, "pre-clone fallback", stale, c)
+
+	fresh, _, n := c.SyncDecodeStats(nil, 0)
+	if n != -1 {
+		t.Fatalf("nil cache replayed %d, want -1", n)
+	}
+	sameStream(t, "nil cache", fresh, c)
+	_ = gen
+}

@@ -99,6 +99,13 @@ type Evidence struct {
 	// variant the dispatch branch points at, and how many are resident.
 	Variant  string `json:"variant,omitempty"`
 	Variants int    `json:"variants,omitempty"`
+	// Blocks / HotBlocks / HotCoverage describe a block-layout deployment:
+	// the region's basic-block count, how many lead the reordered copy as
+	// the hot extended traces, and the share of observed taken-edge weight
+	// those hot blocks cover.
+	Blocks      int     `json:"blocks,omitempty"`
+	HotBlocks   int     `json:"hot_blocks,omitempty"`
+	HotCoverage float64 `json:"hot_coverage,omitempty"`
 }
 
 // Decision is one entry of the patch-decision audit trail.
@@ -240,6 +247,10 @@ func (l *DecisionLog) Explain(w io.Writer) error {
 			fmt.Fprintf(&b, "      variant=%s resident=%d\n", ev.Variant, ev.Variants)
 		} else if ev.Variants > 0 {
 			fmt.Fprintf(&b, "      resident=%d\n", ev.Variants)
+		}
+		if ev.Blocks > 0 {
+			fmt.Fprintf(&b, "      layout: blocks=%d hot=%d coverage=%.2f\n",
+				ev.Blocks, ev.HotBlocks, ev.HotCoverage)
 		}
 		if ev.BusHitm > 0 || ev.CoherentShare > 0 {
 			fmt.Fprintf(&b, "      trigger: coherent_share=%.4f bus_hitm=%d\n", ev.CoherentShare, ev.BusHitm)

@@ -7,7 +7,7 @@ import (
 	"repro/internal/npb"
 	"repro/internal/obs"
 	"repro/internal/sched"
-	_ "repro/internal/strategy" // register the multiversion and causal engines
+	_ "repro/internal/strategy" // register the multiversion, causal and layout engines
 	"repro/internal/workload"
 )
 
@@ -28,8 +28,9 @@ type Spec struct {
 	// defaults to smp.
 	Machine string `json:"machine,omitempty"`
 	// Strategy is off, monitor, noprefetch, excl, adaptive or bias, or
-	// one of the pluggable engines (multiversion, causal) which run the
-	// adaptive trigger under that strategy engine; empty defaults to off.
+	// one of the pluggable engines (multiversion, causal, layout) which
+	// run the adaptive trigger under that strategy engine; empty defaults
+	// to off.
 	Strategy string `json:"strategy,omitempty"`
 	// ClassS selects class-S-scaled NPB sizes (nil/true) vs tiny (false).
 	ClassS *bool `json:"class_s,omitempty"`
@@ -111,9 +112,9 @@ func (s *Spec) Validate() error {
 	}
 	switch s.Strategy {
 	case "off", "monitor", "noprefetch", "excl", "adaptive", "bias",
-		"multiversion", "causal":
+		"multiversion", "causal", "layout":
 	default:
-		return fmt.Errorf("unknown strategy %q (want off, monitor, noprefetch, excl, adaptive, bias, multiversion or causal)", s.Strategy)
+		return fmt.Errorf("unknown strategy %q (want off, monitor, noprefetch, excl, adaptive, bias, multiversion, causal or layout)", s.Strategy)
 	}
 	if s.Workload == "daxpy" {
 		if s.DaxpyWS < MinDaxpyWS || s.DaxpyWS > MaxDaxpyWS {
@@ -193,7 +194,7 @@ func (s *Spec) buildConfig() (workload.BuildConfig, error) {
 	case "bias":
 		c := cobra.DefaultConfig(cobra.StrategyBias)
 		bc.Cobra = &c
-	case "multiversion", "causal":
+	case "multiversion", "causal", "layout":
 		// Pluggable engines run the adaptive trigger with candidate
 		// generation, judging and deployment delegated to the named
 		// registry engine. The Engine field is omitempty, so every

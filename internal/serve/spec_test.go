@@ -13,7 +13,8 @@ import (
 // distinct from each other and from plain adaptive.
 func TestSpecEngineStrategies(t *testing.T) {
 	keys := map[string]string{}
-	for _, name := range []string{"adaptive", "multiversion", "causal"} {
+	names := []string{"adaptive", "multiversion", "causal", "layout"}
+	for _, name := range names {
 		s := &Spec{Workload: "daxpy", Strategy: name}
 		s.Normalize()
 		if err := s.Validate(); err != nil {
@@ -39,9 +40,12 @@ func TestSpecEngineStrategies(t *testing.T) {
 		}
 		keys[name] = key
 	}
-	if keys["adaptive"] == keys["multiversion"] || keys["adaptive"] == keys["causal"] ||
-		keys["multiversion"] == keys["causal"] {
-		t.Fatalf("engine strategies share a ledger key: %v", keys)
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			if keys[a] == keys[b] {
+				t.Fatalf("strategies %s and %s share a ledger key: %v", a, b, keys)
+			}
+		}
 	}
 }
 
@@ -56,6 +60,12 @@ func TestSpecEngineKeyStability(t *testing.T) {
 	}
 	if strings.Contains(string(b), "engine") {
 		t.Fatalf("default config leaks the engine field into content hashes: %s", b)
+	}
+	// Same contract for the patch-journal bound tunable: at its zero value
+	// (use the built-in default) it must not appear in the encoding, so
+	// every pre-tunable spec keeps its historical ledger content hash.
+	if strings.Contains(string(b), "patch_journal_bound") {
+		t.Fatalf("default config leaks the journal bound into content hashes: %s", b)
 	}
 }
 

@@ -18,6 +18,12 @@
 //     the region's observed stall cycles the rewrite is modeled to save,
 //     candidates are ranked by predicted delta, and the decision log
 //     records prediction vs realized outcome.
+//   - "layout": BOLT-style basic-block layout (Panchenko et al.) — the
+//     BTB taken-edge profile accumulated across optimizer windows drives
+//     greedy extended-trace selection over a hot region's basic blocks;
+//     the hot-path-first reordered copy is emitted into the code cache as
+//     a resident variant and dispatched, judged and rolled back through
+//     the same one-word entry patch multi-version dispatch uses.
 package strategy
 
 import "repro/internal/cobra"
@@ -36,5 +42,8 @@ func init() {
 	})
 	cobra.RegisterEngine("causal", func(cfg cobra.Config) cobra.Engine {
 		return newCausal(cfg)
+	})
+	cobra.RegisterEngine("layout", func(cfg cobra.Config) cobra.Engine {
+		return newLayout(cfg)
 	})
 }

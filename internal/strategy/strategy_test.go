@@ -51,7 +51,7 @@ func runPhased(t *testing.T, engine string) (*obs.Observer, workload.Measurement
 
 func TestRegistryNames(t *testing.T) {
 	names := Names()
-	for _, want := range []string{"causal", "multiversion", "prefetch"} {
+	for _, want := range []string{"causal", "layout", "multiversion", "prefetch"} {
 		found := false
 		for _, n := range names {
 			if n == want {
@@ -159,7 +159,7 @@ func TestCausalRecordsPredictedVsActual(t *testing.T) {
 // code, the workload's own Verify must hold (Measure fails otherwise) —
 // run the whole matrix.
 func TestEnginesPreserveWorkloadResults(t *testing.T) {
-	for _, engine := range []string{"prefetch", "multiversion", "causal"} {
+	for _, engine := range []string{"prefetch", "multiversion", "causal", "layout"} {
 		_, m, _ := runPhased(t, engine)
 		if m.Cycles <= 0 {
 			t.Errorf("%s: no cycles measured", engine)

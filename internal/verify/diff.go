@@ -27,13 +27,16 @@ const (
 	ModeVariantSwitch               // resident variant table, dispatch switched mid-phase
 	ModeVariantRollback             // variant table switched, then restored to original
 	ModeParallelSim                 // parallel window engine vs serial engine, no patch
+	ModeLayout                      // BOLT-style reordered block copy dispatched mid-run
+	ModeLayoutRollback              // reordered copy dispatched, then restored mid-run
 )
 
 // AllModes returns every differential mode, in deterministic order.
 func AllModes() []Mode {
 	return []Mode{
 		ModeInPlaceNop, ModeInPlaceExcl, ModeTraceNop, ModeTraceExcl, ModeRollback,
-		ModeVariantSwitch, ModeVariantRollback, ModeParallelSim,
+		ModeVariantSwitch, ModeVariantRollback, ModeLayout, ModeLayoutRollback,
+		ModeParallelSim,
 	}
 }
 
@@ -59,6 +62,10 @@ func (m Mode) String() string {
 		return "variant-rollback"
 	case ModeParallelSim:
 		return "parallel-sim"
+	case ModeLayout:
+		return "layout"
+	case ModeLayoutRollback:
+		return "layout-rollback"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -74,13 +81,18 @@ func ParseMode(s string) (Mode, error) {
 }
 
 func (m Mode) useTrace() bool {
-	return m == ModeTraceNop || m == ModeTraceExcl || m.useVariants()
+	return m == ModeTraceNop || m == ModeTraceExcl || m.useVariants() || m.useLayout()
 }
 
 // useVariants reports whether the mode patches through a resident
 // multi-version table instead of a single destructive deploy.
 func (m Mode) useVariants() bool {
 	return m == ModeVariantSwitch || m == ModeVariantRollback
+}
+
+// useLayout reports whether the mode deploys a reordered block copy.
+func (m Mode) useLayout() bool {
+	return m == ModeLayout || m == ModeLayoutRollback
 }
 
 func (m Mode) rewrite() cobra.Rewrite {
@@ -361,6 +373,82 @@ func armVariantTimers(m *machine.Machine, patcher *cobra.Patcher, region cobra.R
 	}
 }
 
+// syntheticEdges builds a deterministic pseudo-profile for the layout
+// fuzz modes: every in-region taken edge — each branch's target plus the
+// latch's backward edge — gets a seed- and slot-derived weight, so across
+// the corpus the greedy trace selection is steered through many different
+// block orders while each seed stays exactly reproducible. The oracle has
+// no PMU attached; any profile must yield a state-preserving layout, so
+// the weights only have to vary, not to be real.
+func syntheticEdges(img *ia64.Image, region cobra.Region, seed int64) map[cobra.BranchEdge]int64 {
+	edges := map[cobra.BranchEdge]int64{}
+	for pc := region.Start; pc <= region.End && pc < img.Len(); pc++ {
+		in := img.Fetch(pc)
+		if !in.IsBranch() || in.Br == ia64.BrRet {
+			continue
+		}
+		t := int(in.Imm)
+		if t < region.Start || t > region.End {
+			continue
+		}
+		w := 1 + int64(mix64(uint64(seed)^uint64(pc)*0x9e3779b97f4a7c15)%13)
+		edges[cobra.BranchEdge{From: pc, To: t}] += w
+	}
+	return edges
+}
+
+// armLayoutTimers schedules the block-layout plan: at deployAt the layout
+// target's region is partitioned into basic blocks, a hot-path-first
+// order computed from the synthetic edge profile, and the reordered copy
+// deployed resident and dispatched through the entry word;
+// ModeLayoutRollback restores the original entry at rollbackAt. Reordered
+// execution must stay architecturally bit-identical — connectors retire
+// extra branches, so layout modes are judged on state, never on
+// instruction counts.
+func armLayoutTimers(m *machine.Machine, patcher *cobra.Patcher, img *ia64.Image, p *Program, plan *patchPlan, out *runOutcome, deployErr *error) {
+	target := p.LayoutTarget()
+	region := cobra.Region{
+		Key:      cobra.LoopKey{Head: target.Head, BranchPC: target.BranchPC},
+		Start:    target.Head,
+		End:      target.BranchPC,
+		FuncName: "fuzz.kernel",
+	}
+	var vs *cobra.VariantSet
+	m.AddTimer(&machine.Timer{NextAt: plan.deployAt, Fn: func(now int64) int64 {
+		an := cobra.NewAnalyzer(img, m.Memory())
+		spec := an.BuildLayout(region, syntheticEdges(img, region, p.Cfg.Seed))
+		if !spec.PlacesBefore(region.Key.Head, region.Key.BranchPC) {
+			// The synthetic profile asked for a forward latch; the engine
+			// would refuse such an order, so fall back to the identity
+			// placement — still a full emit + relocate + dispatch exercise.
+			for i := range spec.Order {
+				spec.Order[i] = i
+			}
+		}
+		set, err := patcher.DeployLayout(region, spec)
+		if err == nil {
+			err = patcher.Switch(set, 0)
+		}
+		if err = triagePatchErr(err); err != nil {
+			*deployErr = err
+			return 0
+		}
+		vs = set
+		out.deployed = vs != nil
+		return 0
+	}})
+	if plan.mode == ModeLayoutRollback {
+		m.AddTimer(&machine.Timer{NextAt: plan.rollbackAt, Fn: func(now int64) int64 {
+			if vs != nil {
+				if err := patcher.Switch(vs, -1); err != nil && *deployErr == nil {
+					*deployErr = err
+				}
+			}
+			return 0
+		}})
+	}
+}
+
 // runProgram executes p on a fresh machine, optionally live-patching it
 // mid-run per plan, and snapshots the final architectural state.
 func runProgram(p *Program, plan *patchPlan) (*runOutcome, error) {
@@ -385,7 +473,9 @@ func runProgramWorkers(p *Program, plan *patchPlan, simWorkers int) (*runOutcome
 			End:      target.BranchPC,
 			FuncName: "fuzz.kernel",
 		}
-		if plan.mode.useVariants() {
+		if plan.mode.useLayout() {
+			armLayoutTimers(m, patcher, env.img, p, plan, out, &deployErr)
+		} else if plan.mode.useVariants() {
 			armVariantTimers(m, patcher, region, target, plan, out, &deployErr)
 		} else {
 			var patch *cobra.Patch

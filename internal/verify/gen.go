@@ -126,6 +126,31 @@ func (p *Program) PatchTarget() Loop {
 	return p.Loops[best]
 }
 
+// LayoutTarget picks the loop the layout fuzz modes reorder: the one
+// whose body contains the most branch instructions below the latch, i.e.
+// the richest block structure (outer loops holding inner cloop latches
+// and skip guards win). Ties go to the lowest Head; a program whose
+// loops are all straight-line still exercises partitioning, connector
+// emission and relocation on a two-block region.
+func (p *Program) LayoutTarget() Loop {
+	best, bestBr := -1, -1
+	for i, l := range p.Loops {
+		br := 0
+		for pc := l.Head; pc < l.BranchPC; pc++ {
+			if p.Img.Fetch(pc).IsBranch() {
+				br++
+			}
+		}
+		if br > bestBr || (br == bestBr && l.Head < p.Loops[best].Head) {
+			best, bestBr = i, br
+		}
+	}
+	if best == -1 {
+		panic("verify: generated program has no loops") // generator invariant
+	}
+	return p.Loops[best]
+}
+
 // gen is the in-flight generator state. Loop and lfetch slots are
 // recorded function-relative during emission and relocated to absolute
 // image slots after Asm.Close fixes the entry.
