@@ -9,9 +9,9 @@ GO ?= go
 BENCH_LABEL ?= $(shell date -u +%Y-%m-%d)
 SOAK_DURATION ?= 30s
 
-.PHONY: ci vet build race test bench bench-smoke trace-smoke fuzz-smoke strategy-smoke layout-smoke parsim-smoke stream-smoke soak-smoke results
+.PHONY: ci vet build race test bench bench-smoke trace-smoke fuzz-smoke strategy-smoke layout-smoke parsim-smoke stream-smoke matrix-smoke soak-smoke results
 
-ci: vet build race test bench-smoke trace-smoke fuzz-smoke strategy-smoke layout-smoke parsim-smoke stream-smoke
+ci: vet build race test bench-smoke trace-smoke fuzz-smoke strategy-smoke layout-smoke parsim-smoke stream-smoke matrix-smoke
 
 vet:
 	$(GO) vet ./...
@@ -102,6 +102,20 @@ strategy-smoke:
 # kernel's architectural result.
 layout-smoke:
 	$(GO) test -count=1 -run 'TestLayout' ./internal/strategy/
+
+# Scenario-matrix gate: 3 topologies x 3 placement policies x 3
+# irregular workloads, every cell running the adaptive COBRA loop
+# through the scheduler under the race detector with the decision-log
+# lifecycle audited and all metrics required finite; then one
+# asymmetric-NUMA pointer-chase cell end to end through cobra-run with
+# its cycle-domain trace structurally validated.
+matrix-smoke:
+	$(GO) test -race -count=1 -run 'TestScenarioMatrix' .
+	$(GO) run ./cmd/cobra-run -workload pointerchase -machine numa \
+		-topology 1:64,3:64 -placement interleave -strategy adaptive \
+		-threads 4 -trace results/matrix-smoke.json > /dev/null
+	$(GO) run ./cmd/tracecheck results/matrix-smoke.json
+	rm -f results/matrix-smoke.json
 
 # Regenerate the committed experiment outputs through the scheduler.
 results:

@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -38,13 +40,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cobra-run: ")
 	var (
-		name     = flag.String("workload", "daxpy", "daxpy, phased, bt, sp, lu, ft, mg, cg, ep, is")
+		name     = flag.String("workload", "daxpy", "daxpy, phased, pointerchase, hashjoin, spmv, bt, sp, lu, ft, mg, cg, ep, is")
 		threads  = flag.Int("threads", 4, "worker threads (= CPUs)")
 		machine  = flag.String("machine", "smp", "smp (front-side bus) or numa (Altix-like)")
 		strategy = flag.String("strategy", "off", "off, monitor, noprefetch, excl, adaptive, bias, multiversion, causal, layout")
 		classS   = flag.Bool("class-s", true, "class-S-scaled sizes (false = tiny)")
 		ws       = flag.Int64("daxpy-ws", 128<<10, "DAXPY working set bytes")
 		reps     = flag.Int("daxpy-reps", 100, "DAXPY outer repetitions")
+
+		topology  = flag.String("topology", "", `explicit NUMA node list "cpus[:mem_mb],..." (e.g. "2,4,2" or "4:128,4:128")`)
+		placement = flag.String("placement", "", "page placement policy: first-touch (default), interleave, bind")
+		bindNode  = flag.Int("bind-node", 0, "home node for -placement bind")
+		affinity  = flag.String("affinity", "", `thread-to-CPU pinning "cpu,cpu,..." (one per thread; default identity)`)
+		migrate   = flag.String("migrate", "", `mid-run CPU migration "cycle:cpu:node"`)
 		simw     = flag.Int("sim-workers", 0, "simulator worker goroutines (parallel window engine; 0/1 = serial, byte-identical results)")
 		patches  = flag.Bool("show-patches", false, "list the binary patches COBRA deployed")
 
@@ -69,6 +77,11 @@ func main() {
 		DaxpyWS:    *ws,
 		DaxpyReps:  *reps,
 		SimWorkers: *simw,
+		Placement:  *placement,
+		BindNode:   *bindNode,
+	}
+	if err := parseScenarioFlags(&spec, *topology, *affinity, *migrate); err != nil {
+		log.Fatal(err)
 	}
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
@@ -189,4 +202,53 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// parseScenarioFlags fills the scenario-matrix Spec fields from their
+// compact flag syntaxes: -topology "cpus[:mem_mb],...", -affinity
+// "cpu,cpu,...", -migrate "cycle:cpu:node". Range and consistency
+// validation is Spec.Validate's job; this only parses.
+func parseScenarioFlags(spec *serve.Spec, topology, affinity, migrate string) error {
+	if topology != "" {
+		for _, field := range strings.Split(topology, ",") {
+			var n serve.NodeSpec
+			cpus, memMB, hasMem := strings.Cut(field, ":")
+			c, err := strconv.Atoi(strings.TrimSpace(cpus))
+			if err != nil {
+				return fmt.Errorf("-topology node %q: %v", field, err)
+			}
+			n.CPUs = c
+			if hasMem {
+				mb, err := strconv.ParseInt(strings.TrimSpace(memMB), 10, 64)
+				if err != nil {
+					return fmt.Errorf("-topology node %q: %v", field, err)
+				}
+				n.MemMB = mb
+			}
+			spec.Topology = append(spec.Topology, n)
+		}
+	}
+	if affinity != "" {
+		for _, field := range strings.Split(affinity, ",") {
+			cpu, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil {
+				return fmt.Errorf("-affinity entry %q: %v", field, err)
+			}
+			spec.Affinity = append(spec.Affinity, cpu)
+		}
+	}
+	if migrate != "" {
+		parts := strings.Split(migrate, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf(`-migrate %q: want "cycle:cpu:node"`, migrate)
+		}
+		at, err1 := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+		cpu, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		node, err3 := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf(`-migrate %q: want "cycle:cpu:node"`, migrate)
+		}
+		spec.MigrateAt, spec.MigrateCPU, spec.MigrateNode = at, cpu, node
+	}
+	return nil
 }

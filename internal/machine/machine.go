@@ -39,6 +39,21 @@ type Config struct {
 	// session's scheduler/ledger content hash must not depend on which
 	// engine ran it, and every historical hash is preserved.
 	SimWorkers int `json:"-"`
+
+	// Migrations schedules mid-run affinity changes: at AtCycle the CPU's
+	// NUMA node mapping is remapped to Node, modelling an OS scheduler
+	// migrating a pinned thread across nodes. Migration changes simulated
+	// timing (and, through first-touch, page homes), so — unlike
+	// SimWorkers — it is part of the scenario and contributes to content
+	// hashes; omitempty keeps every migration-free legacy hash stable.
+	Migrations []Migration `json:",omitempty"`
+}
+
+// Migration is one scheduled affinity change (see Config.Migrations).
+type Migration struct {
+	AtCycle int64
+	CPU     int
+	Node    int
 }
 
 // DefaultConfig returns a machine matching the paper's 4-way SMP server.
@@ -107,6 +122,33 @@ func New(cfg Config, img *ia64.Image) (*Machine, error) {
 	m := &Machine{cfg: cfg, img: img, memory: memory, dom: dom}
 	for i := 0; i < cfg.Mem.NumCPUs; i++ {
 		m.cpus = append(m.cpus, newCPU(m, i))
+	}
+	for i, mg := range cfg.Migrations {
+		if !cfg.Mem.NUMA {
+			return nil, fmt.Errorf("machine: migration %d requires a NUMA machine", i)
+		}
+		if mg.AtCycle <= 0 {
+			return nil, fmt.Errorf("machine: migration %d at cycle %d (must be positive)", i, mg.AtCycle)
+		}
+		if mg.CPU < 0 || mg.CPU >= cfg.Mem.NumCPUs {
+			return nil, fmt.Errorf("machine: migration %d moves CPU %d of %d", i, mg.CPU, cfg.Mem.NumCPUs)
+		}
+		if n := cfg.Mem.NumNodes(); mg.Node < 0 || mg.Node >= n {
+			return nil, fmt.Errorf("machine: migration %d targets node %d of %d", i, mg.Node, n)
+		}
+		mg := mg
+		m.AddTimer(&Timer{NextAt: mg.AtCycle, Fn: func(now int64) int64 {
+			// Validated above; the only runtime failure mode would be a
+			// non-NUMA interconnect, which NUMA=true rules out.
+			_ = m.dom.MigrateCPU(mg.CPU, mg.Node)
+			if m.obs != nil {
+				if t := m.obs.Trace(); t != nil {
+					t.Instant("machine", "migrate", obs.TIDRegions, now,
+						map[string]any{"cpu": mg.CPU, "node": mg.Node})
+				}
+			}
+			return 0
+		}})
 	}
 	return m, nil
 }

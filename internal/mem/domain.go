@@ -8,6 +8,21 @@ type Config struct {
 	CPUsPerNode int  // CPUs sharing a NUMA node (ignored unless NUMA)
 	NUMA        bool // cc-NUMA topology instead of a single shared bus
 
+	// Nodes, when non-empty, declares the machine shape explicitly —
+	// per-node CPU count and memory capacity, supporting asymmetric
+	// NUMA topologies — overriding the uniform (NumCPUs, CPUsPerNode)
+	// expansion. The declared CPUs must sum to NumCPUs. omitempty keeps
+	// every legacy configuration's JSON encoding (and therefore every
+	// scheduler/ledger content hash) byte-identical.
+	Nodes []NodeConfig `json:",omitempty"`
+
+	// Placement selects the page-placement policy (placement.go). The
+	// zero value is first-touch, the only pre-matrix behaviour.
+	Placement PlacementPolicy `json:",omitempty"`
+
+	// BindNode is the target node of the bind policy (ignored otherwise).
+	BindNode int `json:",omitempty"`
+
 	L1D CacheConfig // integer loads only (FP bypasses L1D on Itanium 2)
 	L2  CacheConfig
 	L3  CacheConfig
@@ -76,8 +91,11 @@ func (c Config) Validate() error {
 	if c.NumCPUs <= 0 {
 		return fmt.Errorf("mem: NumCPUs %d", c.NumCPUs)
 	}
-	if c.NUMA && c.CPUsPerNode <= 0 {
+	if c.NUMA && len(c.Nodes) == 0 && c.CPUsPerNode <= 0 {
 		return fmt.Errorf("mem: CPUsPerNode %d", c.CPUsPerNode)
+	}
+	if err := c.validateTopology(); err != nil {
+		return err
 	}
 	if c.L2.LineBytes != c.L3.LineBytes {
 		return fmt.Errorf("mem: L2 line %d != L3 line %d (coherence granularity must match)",
@@ -217,10 +235,11 @@ func NewDomain(cfg Config, m *Memory) (*Domain, error) {
 	}
 	var icn Interconnect
 	if cfg.NUMA {
-		icn = NewNUMA(cfg.Lat, cfg.NumCPUs, cfg.CPUsPerNode)
+		icn = NewNUMANodes(cfg.Lat, cfg.NodeList())
 	} else {
 		icn = NewBus(cfg.Lat)
 	}
+	m.ConfigurePlacement(cfg.Placement, cfg.NodeList(), cfg.BindNode, icn.Hops)
 	d := &Domain{
 		cfg:      cfg,
 		mem:      m,
@@ -263,6 +282,23 @@ func (d *Domain) TotalStats() CPUStats {
 
 // LineBytes returns the coherence granularity.
 func (d *Domain) LineBytes() int { return d.cfg.L2.LineBytes }
+
+// MigrateCPU remaps cpu onto node mid-run (scheduler affinity change).
+// Only meaningful on the NUMA interconnect; the SMP bus has one node.
+func (d *Domain) MigrateCPU(cpu, node int) error {
+	n, ok := d.icn.(*NUMA)
+	if !ok {
+		return fmt.Errorf("mem: migration requires the NUMA interconnect (have %s)", d.icn.Name())
+	}
+	if cpu < 0 || cpu >= d.cfg.NumCPUs {
+		return fmt.Errorf("mem: migrate CPU %d out of range [0, %d)", cpu, d.cfg.NumCPUs)
+	}
+	if node < 0 || node >= n.NumNodes() {
+		return fmt.Errorf("mem: migrate to node %d out of range [0, %d)", node, n.NumNodes())
+	}
+	n.SetNodeOf(cpu, node)
+	return nil
+}
 
 // snoop polls every other hierarchy for the line and applies the coherence
 // action: reads downgrade remote M/E copies to Shared; ownership requests

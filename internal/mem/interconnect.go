@@ -117,28 +117,62 @@ func (b *Bus) Reset() { b.busyUntil = 0 }
 // cache-to-cache transfers cost substantially more than on the SMP — the
 // reason the paper's optimizations gain more on the Altix.
 type NUMA struct {
-	lat         LatencyParams
-	cpusPerNode int
-	numNodes    int
-	linkBusy    []int64 // per-node egress link contention
-	memBusy     []int64 // per-node memory controller contention
+	lat      LatencyParams
+	nodeOf   []int16 // CPU -> node table (mutable: mid-run migration)
+	numNodes int
+	linkBusy []int64 // per-node egress link contention
+	memBusy  []int64 // per-node memory controller contention
 }
 
 // NewNUMA builds a cc-NUMA interconnect for numCPUs processors grouped
-// cpusPerNode to a node.
+// cpusPerNode to a node — the legacy uniform shape, expressed as a node
+// list so uniform and asymmetric machines share one implementation.
 func NewNUMA(lat LatencyParams, numCPUs, cpusPerNode int) *NUMA {
-	n := (numCPUs + cpusPerNode - 1) / cpusPerNode
+	var nodes []NodeConfig
+	for remaining := numCPUs; remaining > 0; remaining -= cpusPerNode {
+		n := cpusPerNode
+		if n > remaining {
+			n = remaining
+		}
+		nodes = append(nodes, NodeConfig{CPUs: n})
+	}
+	return NewNUMANodes(lat, nodes)
+}
+
+// NewNUMANodes builds a cc-NUMA interconnect from an explicit — possibly
+// asymmetric — node list: node i carries nodes[i].CPUs processors, with
+// CPU ids assigned in node order. The fat-tree hop model is unchanged; an
+// asymmetric shape only changes which CPUs share a node-local bus.
+func NewNUMANodes(lat LatencyParams, nodes []NodeConfig) *NUMA {
+	var table []int16
+	for id, nc := range nodes {
+		for i := 0; i < nc.CPUs; i++ {
+			table = append(table, int16(id))
+		}
+	}
 	return &NUMA{
-		lat:         lat,
-		cpusPerNode: cpusPerNode,
-		numNodes:    n,
-		linkBusy:    make([]int64, n),
-		memBusy:     make([]int64, n),
+		lat:      lat,
+		nodeOf:   table,
+		numNodes: len(nodes),
+		linkBusy: make([]int64, len(nodes)),
+		memBusy:  make([]int64, len(nodes)),
 	}
 }
 
 func (n *NUMA) Name() string       { return "cc-numa" }
-func (n *NUMA) NodeOf(cpu int) int { return cpu / n.cpusPerNode }
+func (n *NUMA) NodeOf(cpu int) int { return int(n.nodeOf[cpu]) }
+
+// NumNodes returns the node count.
+func (n *NUMA) NumNodes() int { return n.numNodes }
+
+// SetNodeOf remaps cpu onto node — a mid-run affinity migration. All
+// subsequent transactions issued by cpu pay distances from its new node,
+// and first-touch pages it faults home there: exactly the scenario that
+// stresses DEAR attribution and the optimizer's judgement windows, since
+// the profile a patch was judged on no longer describes the machine.
+func (n *NUMA) SetNodeOf(cpu, node int) {
+	n.nodeOf[cpu] = int16(node)
+}
 
 // Hops returns the fat-tree distance between nodes: 0 within a node, and
 // 2*(1+log2 distance) across the tree (up to the common ancestor and down).

@@ -31,6 +31,10 @@ type Memory struct {
 	home     []int16 // page index -> node, -1 until first touch
 	brk      uint64
 	segs     []Segment
+
+	// place is the placement-policy engine (placement.go). The zero value
+	// is single-node first-touch — the pre-scenario-matrix behaviour.
+	place placement
 }
 
 // Segment records a named allocation (an array of a workload).
@@ -208,30 +212,47 @@ func (m *Memory) WriteF64(addr uint64, v float64) {
 	m.writeU64(addr, math.Float64bits(v))
 }
 
-// HomeNode returns the NUMA home node of addr, assigning it by first touch
-// from toucher if unassigned. On the SMP configuration every page homes to
-// node 0.
+// HomeNode returns the NUMA home node of addr under the configured
+// placement policy, assigning it on first touch where the policy is
+// touch-dependent. First-touch (the default) homes the page on toucher's
+// node; interleave computes page mod nodes without consulting touch
+// state; bind assigns the bind node with deterministic capacity spill.
+// On the SMP configuration every page homes to node 0.
 func (m *Memory) HomeNode(addr uint64, toucher int) int {
 	pg := addr / m.pageSize
-	if m.home[pg] < 0 {
-		m.home[pg] = int16(toucher)
+	switch m.place.policy {
+	case PlaceInterleave:
+		return int(pg % uint64(m.place.numNodes))
+	case PlaceBind:
+		if m.home[pg] < 0 {
+			m.home[pg] = m.place.assignBind()
+		}
+	default: // first-touch
+		if m.home[pg] < 0 {
+			m.home[pg] = int16(toucher)
+		}
 	}
 	return int(m.home[pg])
 }
 
 // PeekHomeNode returns the home node without first-touch assignment
-// (-1 if untouched).
+// (-1 if untouched). Interleaved pages have static homes, so the policy's
+// computed value is returned rather than the untouched marker.
 func (m *Memory) PeekHomeNode(addr uint64) int {
+	if m.place.policy == PlaceInterleave {
+		return int((addr / m.pageSize) % uint64(m.place.numNodes))
+	}
 	return int(m.home[addr/m.pageSize])
 }
 
 // PageSize returns the NUMA page size.
 func (m *Memory) PageSize() uint64 { return m.pageSize }
 
-// ResetPlacement clears all first-touch assignments (used between
-// experiment repetitions).
+// ResetPlacement clears all page-home assignments and restores per-node
+// capacity budgets (used between experiment repetitions).
 func (m *Memory) ResetPlacement() {
 	for i := range m.home {
 		m.home[i] = -1
 	}
+	copy(m.place.capPages, m.place.initCap)
 }

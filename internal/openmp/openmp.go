@@ -54,15 +54,52 @@ type Runtime struct {
 	Obs *obs.Observer
 
 	forked []bool
+
+	// affinity maps thread id -> CPU id (nil = identity, the historical
+	// binding). Set through SetAffinity before the first region runs.
+	affinity []int
 }
 
 // NewRuntime creates a runtime running nthreads worker threads, thread i
-// bound to CPU i.
+// bound to CPU i (override with SetAffinity).
 func NewRuntime(m *machine.Machine, nthreads int) (*Runtime, error) {
 	if nthreads <= 0 || nthreads > m.NumCPUs() {
 		return nil, fmt.Errorf("openmp: %d threads on %d CPUs", nthreads, m.NumCPUs())
 	}
 	return &Runtime{m: m, nthreads: nthreads, forked: make([]bool, nthreads)}, nil
+}
+
+// SetAffinity pins thread i to CPU aff[i] instead of the identity
+// binding — the declarative thread-placement knob of the scenario matrix
+// (e.g. packing all threads onto one NUMA node, or spreading them across
+// nodes of an asymmetric shape). Must be a permutation-free injective
+// map: one CPU per thread, no CPU shared. Call before any region runs;
+// rebinding mid-program would tear a thread away from its warmed caches
+// without modelling the move (use machine.Config.Migrations for that).
+func (rt *Runtime) SetAffinity(aff []int) error {
+	if len(aff) != rt.nthreads {
+		return fmt.Errorf("openmp: affinity names %d CPUs for %d threads", len(aff), rt.nthreads)
+	}
+	seen := make(map[int]bool, len(aff))
+	for t, cpu := range aff {
+		if cpu < 0 || cpu >= rt.m.NumCPUs() {
+			return fmt.Errorf("openmp: affinity[%d] = CPU %d of %d", t, cpu, rt.m.NumCPUs())
+		}
+		if seen[cpu] {
+			return fmt.Errorf("openmp: affinity binds CPU %d twice", cpu)
+		}
+		seen[cpu] = true
+	}
+	rt.affinity = append([]int(nil), aff...)
+	return nil
+}
+
+// cpuOf returns the CPU thread tid is bound to.
+func (rt *Runtime) cpuOf(tid int) int {
+	if rt.affinity == nil {
+		return tid
+	}
+	return rt.affinity[tid]
 }
 
 // NumThreads returns the worker thread count.
@@ -89,7 +126,7 @@ func (rt *Runtime) fork(tid int) {
 	if !rt.forked[tid] {
 		rt.forked[tid] = true
 		if rt.OnFork != nil {
-			rt.OnFork(tid, tid)
+			rt.OnFork(tid, rt.cpuOf(tid))
 		}
 	}
 }
@@ -115,7 +152,8 @@ func (rt *Runtime) ParallelFor(fn ia64.Func, trip int64, bind Binder) error {
 		}
 		rt.fork(t)
 		t := t
-		rt.m.StartThread(t, fn.Entry, t, func(rf *ia64.RegFile) {
+		cpu := rt.cpuOf(t)
+		rt.m.StartThread(cpu, fn.Entry, t, func(rf *ia64.RegFile) {
 			rf.SetGR(RegLo, lo)
 			rf.SetGR(RegHi, hi)
 			rf.SetGR(RegTID, int64(t))
@@ -123,7 +161,7 @@ func (rt *Runtime) ParallelFor(fn ia64.Func, trip int64, bind Binder) error {
 				bind(t, rf)
 			}
 		})
-		active = append(active, t)
+		active = append(active, cpu)
 	}
 	retired, err := rt.m.RunAll(active)
 	if err != nil {
@@ -148,13 +186,14 @@ func (rt *Runtime) Serial(fn ia64.Func, bind Binder) error {
 	start := rt.m.GlobalCycle()
 	rt.m.SyncClocks(start)
 	rt.fork(0)
-	rt.m.StartThread(0, fn.Entry, 0, func(rf *ia64.RegFile) {
+	master := rt.cpuOf(0)
+	rt.m.StartThread(master, fn.Entry, 0, func(rf *ia64.RegFile) {
 		rf.SetGR(RegTID, 0)
 		if bind != nil {
 			bind(0, rf)
 		}
 	})
-	retired, err := rt.m.Run(0)
+	retired, err := rt.m.Run(master)
 	if err != nil {
 		return fmt.Errorf("openmp: serial %s: %w", fn.Name, err)
 	}

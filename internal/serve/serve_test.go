@@ -467,6 +467,21 @@ func TestRequestValidation(t *testing.T) {
 		{"bad machine", `{"workload": "daxpy", "machine": "tpu"}`},
 		{"timeout too large", `{"workload": "daxpy", "timeout_ms": 86400000}`},
 		{"negative timeout", `{"workload": "daxpy", "timeout_ms": -5}`},
+		{"topology on smp", `{"workload": "daxpy", "topology": [{"cpus": 2}, {"cpus": 2}]}`},
+		{"topology zero-cpu node", `{"workload": "daxpy", "machine": "numa", "threads": 2, "topology": [{"cpus": 2}, {"cpus": 0}]}`},
+		{"topology too few cpus", `{"workload": "daxpy", "machine": "numa", "threads": 4, "topology": [{"cpus": 1}, {"cpus": 1}]}`},
+		{"topology too many cpus", `{"workload": "daxpy", "machine": "numa", "threads": 4, "topology": [{"cpus": 63}, {"cpus": 63}]}`},
+		{"capacity overflow", `{"workload": "daxpy", "machine": "numa", "threads": 2, "topology": [{"cpus": 1, "mem_mb": 4}, {"cpus": 1, "mem_mb": 4}]}`},
+		{"unknown placement", `{"workload": "daxpy", "machine": "numa", "placement": "random"}`},
+		{"placement on smp", `{"workload": "daxpy", "placement": "interleave"}`},
+		{"bind node out of range", `{"workload": "daxpy", "machine": "numa", "placement": "bind", "bind_node": 9}`},
+		{"bind node without bind", `{"workload": "daxpy", "machine": "numa", "bind_node": 1}`},
+		{"affinity wrong length", `{"workload": "daxpy", "threads": 2, "affinity": [0]}`},
+		{"affinity duplicate cpu", `{"workload": "daxpy", "threads": 2, "affinity": [1, 1]}`},
+		{"affinity cpu out of range", `{"workload": "daxpy", "threads": 2, "affinity": [0, 7]}`},
+		{"migration on smp", `{"workload": "daxpy", "migrate_at": 100, "migrate_cpu": 0, "migrate_node": 0}`},
+		{"migration cpu out of range", `{"workload": "daxpy", "machine": "numa", "threads": 2, "migrate_at": 100, "migrate_cpu": 5, "migrate_node": 0}`},
+		{"migration without cycle", `{"workload": "daxpy", "machine": "numa", "migrate_cpu": 1}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

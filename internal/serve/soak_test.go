@@ -68,6 +68,16 @@ func TestSoak(t *testing.T) {
 			"sim_workers": 2},
 		{"workload": "daxpy", "threads": 2, "daxpy_ws": 16 << 10, "daxpy_reps": 3,
 			"sim_workers": 4},
+		// Scenario-matrix cells: an irregular workload on an asymmetric
+		// topology under each non-default placement policy, plus one
+		// mid-run migration — the declarative machine-shape plane under
+		// sustained concurrent load.
+		{"workload": "hashjoin", "threads": 2, "machine": "numa",
+			"topology": []map[string]any{{"cpus": 1}, {"cpus": 2}}, "placement": "interleave"},
+		{"workload": "spmv", "threads": 2, "machine": "numa",
+			"topology": []map[string]any{{"cpus": 2}, {"cpus": 1}}, "placement": "bind", "bind_node": 1},
+		{"workload": "pointerchase", "threads": 2, "machine": "numa",
+			"migrate_at": 50_000, "migrate_cpu": 0, "migrate_node": 0},
 	}
 
 	const (

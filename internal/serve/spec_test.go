@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -155,5 +156,130 @@ func TestSpecBigNUMATopologies(t *testing.T) {
 	s.Normalize()
 	if err := s.Validate(); err == nil {
 		t.Fatalf("threads=%d validated, want range error", MaxThreads+1)
+	}
+}
+
+// TestSpecScenarioKeyStability: every scenario-matrix field (topology,
+// placement, bind node, affinity, migration) must be omitempty all the
+// way down into the hashed machine config, so a spec that leaves them
+// unset serializes — and content-hashes — exactly as it did before the
+// scenario matrix existed. "first-touch" is the same policy as unset and
+// must share its key.
+func TestSpecScenarioKeyStability(t *testing.T) {
+	base := &Spec{Workload: "daxpy", Machine: "numa"}
+	base.Normalize()
+	baseKey, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := base.buildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := strings.ToLower(string(b))
+	for _, field := range []string{"nodes", "placement", "bindnode", "migrations", "affinity"} {
+		if strings.Contains(enc, field) {
+			t.Fatalf("default build config leaks %q into content hashes: %s", field, b)
+		}
+	}
+
+	ft := &Spec{Workload: "daxpy", Machine: "numa", Placement: "first-touch"}
+	ft.Normalize()
+	ftKey, err := ft.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ftKey != baseKey {
+		t.Fatalf("placement=first-touch forked the ledger key: %s != %s", ftKey, baseKey)
+	}
+
+	// Every scenario knob must fork the key: they all change timing.
+	variants := []*Spec{
+		{Workload: "daxpy", Machine: "numa", Threads: 4, Topology: []NodeSpec{{CPUs: 1}, {CPUs: 3}}},
+		{Workload: "daxpy", Machine: "numa", Placement: "interleave"},
+		{Workload: "daxpy", Machine: "numa", Placement: "bind", BindNode: 1},
+		{Workload: "daxpy", Machine: "numa", Affinity: []int{3, 2, 1, 0}},
+		{Workload: "daxpy", Machine: "numa", MigrateAt: 1000, MigrateCPU: 0, MigrateNode: 1},
+	}
+	seen := map[string]string{baseKey: "base"}
+	for i, v := range variants {
+		v.Normalize()
+		if err := v.Validate(); err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		key, err := v.Key()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("variant %d shares ledger key with %s", i, prev)
+		}
+		seen[key] = fmt.Sprintf("variant %d", i)
+	}
+}
+
+// TestSpecIrregularWorkloads: the three irregular kernels validate, build
+// and hash to distinct keys, on both machine models.
+func TestSpecIrregularWorkloads(t *testing.T) {
+	keys := map[string]bool{}
+	for _, w := range []string{"pointerchase", "hashjoin", "spmv"} {
+		for _, m := range []string{"smp", "numa"} {
+			s := &Spec{Workload: w, Machine: m, Threads: 2}
+			s.Normalize()
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s/%s: %v", w, m, err)
+			}
+			if _, err := s.buildWorkload(); err != nil {
+				t.Fatalf("%s/%s: %v", w, m, err)
+			}
+			key, err := s.Key()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w, m, err)
+			}
+			if keys[key] {
+				t.Fatalf("%s/%s: duplicate ledger key %s", w, m, key)
+			}
+			keys[key] = true
+		}
+	}
+}
+
+// TestSpecScenarioBuildConfig: the declarative fields land in the right
+// places of the build config.
+func TestSpecScenarioBuildConfig(t *testing.T) {
+	s := &Spec{
+		Workload: "spmv", Machine: "numa", Threads: 2,
+		Topology:  []NodeSpec{{CPUs: 1, MemMB: 64}, {CPUs: 3}},
+		Placement: "bind", BindNode: 1,
+		Affinity:  []int{3, 0},
+		MigrateAt: 5000, MigrateCPU: 3, MigrateNode: 0,
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bc, err := s.buildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := bc.Machine.Mem
+	if mc.NumCPUs != 4 || len(mc.Nodes) != 2 || mc.Nodes[0].MemBytes != 64<<20 {
+		t.Fatalf("mem config shape wrong: %+v", mc)
+	}
+	if mc.Placement != "bind" || mc.BindNode != 1 {
+		t.Fatalf("placement not mapped: %+v", mc)
+	}
+	if len(bc.Affinity) != 2 || bc.Affinity[0] != 3 {
+		t.Fatalf("affinity not mapped: %v", bc.Affinity)
+	}
+	if len(bc.Machine.Migrations) != 1 || bc.Machine.Migrations[0].AtCycle != 5000 {
+		t.Fatalf("migration not mapped: %+v", bc.Machine.Migrations)
+	}
+	if _, err := s.Instantiate(nil, nil); err != nil {
+		t.Fatalf("instantiate: %v", err)
 	}
 }

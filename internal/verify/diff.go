@@ -9,6 +9,7 @@ import (
 	"repro/internal/cobra"
 	"repro/internal/ia64"
 	"repro/internal/machine"
+	"repro/internal/mem"
 	"repro/internal/openmp"
 )
 
@@ -29,6 +30,8 @@ const (
 	ModeParallelSim                 // parallel window engine vs serial engine, no patch
 	ModeLayout                      // BOLT-style reordered block copy dispatched mid-run
 	ModeLayoutRollback              // reordered copy dispatched, then restored mid-run
+	ModePlacement                   // asymmetric NUMA under each placement policy, no patch
+	ModeMigration                   // mid-run CPU-to-node migration under a live patch
 )
 
 // AllModes returns every differential mode, in deterministic order.
@@ -36,13 +39,22 @@ func AllModes() []Mode {
 	return []Mode{
 		ModeInPlaceNop, ModeInPlaceExcl, ModeTraceNop, ModeTraceExcl, ModeRollback,
 		ModeVariantSwitch, ModeVariantRollback, ModeLayout, ModeLayoutRollback,
-		ModeParallelSim,
+		ModeParallelSim, ModePlacement, ModeMigration,
 	}
 }
 
 // parallelSimWorkers are the sim_workers values ModeParallelSim runs the
 // program under, each compared bit-identically against the serial run.
 var parallelSimWorkers = []int{2, 4, 8}
+
+// policyLabel names a placement policy in mode-result labels (the empty
+// string is the first-touch default).
+func policyLabel(p mem.PlacementPolicy) string {
+	if p == mem.PlaceFirstTouch {
+		return "firsttouch"
+	}
+	return string(p)
+}
 
 func (m Mode) String() string {
 	switch m {
@@ -66,6 +78,10 @@ func (m Mode) String() string {
 		return "layout"
 	case ModeLayoutRollback:
 		return "layout-rollback"
+	case ModePlacement:
+		return "placement"
+	case ModeMigration:
+		return "migration"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -250,14 +266,43 @@ type runEnv struct {
 	bind openmp.Binder
 }
 
+// numaScenario selects a non-default machine shape for a run: an
+// asymmetric node-list NUMA topology under a placement policy, optionally
+// with mid-run CPU migrations. Generated programs are race-free and
+// therefore timing-independent, so every scenario must reproduce the SMP
+// baseline's architectural state bit for bit.
+type numaScenario struct {
+	placement  mem.PlacementPolicy
+	bindNode   int
+	migrations []machine.Migration
+}
+
+// scenarioNodes is the asymmetric shape the NUMA modes run on: one CPU
+// alone on node 0, the rest on node 1 (degenerating to a single node for
+// one-thread programs).
+func scenarioNodes(threads int) []mem.NodeConfig {
+	if threads < 2 {
+		return []mem.NodeConfig{{CPUs: threads}}
+	}
+	return []mem.NodeConfig{{CPUs: 1}, {CPUs: threads - 1}}
+}
+
 // setupRun builds a runEnv for p. Allocation order is fixed and memory
 // contents re-derive from the seed, so every environment of the same
 // program is bit-identically initialized and the simulator's determinism
 // makes architectural outcomes comparable across runs. simWorkers > 1
 // selects the parallel window engine (ModeParallelSim); 0 is serial.
-func setupRun(p *Program, simWorkers int) (*runEnv, error) {
+// A non-nil sc swaps the SMP model for the asymmetric NUMA scenario.
+func setupRun(p *Program, simWorkers int, sc *numaScenario) (*runEnv, error) {
 	img := p.Img.Clone()
 	mcfg := machine.DefaultConfig(p.Cfg.Threads)
+	if sc != nil {
+		mcfg.Mem = mem.AltixNUMA(p.Cfg.Threads)
+		mcfg.Mem.Nodes = scenarioNodes(p.Cfg.Threads)
+		mcfg.Mem.Placement = sc.placement
+		mcfg.Mem.BindNode = sc.bindNode
+		mcfg.Migrations = sc.migrations
+	}
 	mcfg.Mem.MemBytes = 16 << 20
 	mcfg.MaxInstrPerRun = maxInstrPerRun
 	mcfg.SimWorkers = simWorkers
@@ -452,11 +497,15 @@ func armLayoutTimers(m *machine.Machine, patcher *cobra.Patcher, img *ia64.Image
 // runProgram executes p on a fresh machine, optionally live-patching it
 // mid-run per plan, and snapshots the final architectural state.
 func runProgram(p *Program, plan *patchPlan) (*runOutcome, error) {
-	return runProgramWorkers(p, plan, 0)
+	return runScenario(p, plan, 0, nil)
 }
 
 func runProgramWorkers(p *Program, plan *patchPlan, simWorkers int) (*runOutcome, error) {
-	env, err := setupRun(p, simWorkers)
+	return runScenario(p, plan, simWorkers, nil)
+}
+
+func runScenario(p *Program, plan *patchPlan, simWorkers int, sc *numaScenario) (*runOutcome, error) {
+	env, err := setupRun(p, simWorkers, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -656,7 +705,80 @@ func VerifySeed(cfg GenConfig, modes []Mode, faults []FaultKind) SeedReport {
 			}
 			continue
 		}
-		run, err := runProgram(p, &patchPlan{mode: mode, deployAt: deployAt, switchAt: switchAt, rollbackAt: rollbackAt})
+		if mode == ModePlacement {
+			// Not a patch mode: the unpatched program runs on an asymmetric
+			// NUMA topology under every placement policy. Placement moves
+			// page homes — timing and hop counts — never values, and the
+			// generated programs are race-free, so each run's architectural
+			// state must be bit-identical to the SMP baseline's (cycle
+			// counts legitimately differ across machine models).
+			for _, pol := range []mem.PlacementPolicy{mem.PlaceFirstTouch, mem.PlaceInterleave, mem.PlaceBind} {
+				sc := &numaScenario{placement: pol}
+				if pol == mem.PlaceBind {
+					sc.bindNode = len(scenarioNodes(p.Cfg.Threads)) - 1
+				}
+				run, err := runScenario(p, nil, 0, sc)
+				if err != nil {
+					rep.Err = fmt.Sprintf("placement-%s: %s", policyLabel(pol), err)
+					return rep
+				}
+				rep.InvariantChecks += run.invariantChecks
+				rep.InvariantViolations = append(rep.InvariantViolations, run.invariantViolations...)
+				rep.Modes = append(rep.Modes, ModeResult{
+					Mode:       "placement-" + policyLabel(pol),
+					Cycles:     run.totalCycles,
+					Deployed:   true, // nothing to deploy; satisfies the battery's check
+					Mismatches: diffStates(base.state, run.state, diffLimit),
+				})
+			}
+			continue
+		}
+		var sc *numaScenario
+		depAt, swAt, rbAt := deployAt, switchAt, rollbackAt
+		if mode == ModeMigration {
+			// An in-place nop deploy followed by a mid-region CPU-to-node
+			// remap while the patch plane is active. State must still match
+			// the SMP baseline bit for bit. Deadlines cannot come from the
+			// SMP cycle counts — both the topology and the patch change
+			// timing enough that a borrowed deadline can land after the
+			// run ends (seed 868: migrating the lone node-0 CPU made every
+			// coherent miss intra-node and halved the run). Instead each
+			// deadline is taken from a pre-run that is timeline-identical
+			// up to the moment it fires: the deploy deadline from an
+			// unpatched run on the same topology, the migration deadline
+			// from a patched-but-unmigrated run.
+			pre, err := runScenario(p, nil, 0, &numaScenario{placement: mem.PlaceFirstTouch})
+			if err != nil {
+				rep.Err = "migration-baseline: " + err.Error()
+				return rep
+			}
+			rep.InvariantChecks += pre.invariantChecks
+			rep.InvariantViolations = append(rep.InvariantViolations, pre.invariantViolations...)
+			depAt = pre.parallelCycles / 2
+			if depAt < 1 {
+				depAt = 1
+			}
+			swAt, rbAt = depAt+1, depAt+2
+			patched, err := runScenario(p, &patchPlan{mode: mode, deployAt: depAt, switchAt: swAt, rollbackAt: rbAt},
+				0, &numaScenario{placement: mem.PlaceFirstTouch})
+			if err != nil {
+				rep.Err = "migration-patched-baseline: " + err.Error()
+				return rep
+			}
+			rep.InvariantChecks += patched.invariantChecks
+			rep.InvariantViolations = append(rep.InvariantViolations, patched.invariantViolations...)
+			migrateAt := depAt + (patched.parallelCycles-depAt)/2
+			if migrateAt <= depAt {
+				migrateAt = depAt + 1
+			}
+			sc = &numaScenario{
+				placement: mem.PlaceFirstTouch,
+				migrations: []machine.Migration{
+					{AtCycle: migrateAt, CPU: 0, Node: len(scenarioNodes(p.Cfg.Threads)) - 1},
+				},
+			}
+		}
+		run, err := runScenario(p, &patchPlan{mode: mode, deployAt: depAt, switchAt: swAt, rollbackAt: rbAt}, 0, sc)
 		if err != nil {
 			rep.Err = mode.String() + ": " + err.Error()
 			return rep

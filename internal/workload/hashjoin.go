@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ia64"
+	"repro/internal/loopir"
+)
+
+// HashJoinParams parameterize the hash-join probe workload: an
+// open-addressing hash table built on the host, probed from the simulated
+// kernel with linear probing. The probe walk is data-dependent — the next
+// slot address comes out of a comparison against a just-loaded key — so
+// the delinquent loads are exactly the kind DEAR sampling surfaces and
+// compiler prefetching cannot cover.
+type HashJoinParams struct {
+	// Slots is the hash-table size, a power of two (default 1<<15).
+	Slots int64
+	// Probes is the number of probe keys per repetition (default 1<<14).
+	Probes int64
+	// Reps repeats the probe region (default 4).
+	Reps int
+	// Seed drives key generation (default 1).
+	Seed int64
+}
+
+func (p HashJoinParams) WithDefaults() HashJoinParams {
+	if p.Slots == 0 {
+		p.Slots = 1 << 15
+	}
+	if p.Probes == 0 {
+		p.Probes = 1 << 14
+	}
+	if p.Reps == 0 {
+		p.Reps = 4
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// joinMaxThreads sizes the per-thread result array.
+const joinMaxThreads = 64
+
+// joinTable builds the host-side table at 50% load factor plus the probe
+// key sequence. Keys are distinct and >= 1; empty slots hold 0. Every
+// probe key is present in the table, which is what guarantees the
+// simulated linear-probe While loop terminates. Pure function of params.
+func joinTable(p HashJoinParams) (htkey, htval, probe []int64) {
+	htkey = make([]int64, p.Slots)
+	htval = make([]int64, p.Slots)
+	rng := rand.New(rand.NewSource(p.Seed))
+	mask := p.Slots - 1
+	inserted := make([]int64, 0, p.Slots/2)
+	used := make(map[int64]bool, p.Slots/2)
+	for int64(len(inserted)) < p.Slots/2 {
+		k := rng.Int63n(1<<30-1) + 1
+		if used[k] {
+			continue
+		}
+		used[k] = true
+		h := k & mask
+		for htkey[h] != 0 {
+			h = (h + 1) & mask
+		}
+		htkey[h] = k
+		htval[h] = k*3 + 1
+		inserted = append(inserted, k)
+	}
+	probe = make([]int64, p.Probes)
+	for j := range probe {
+		probe[j] = inserted[rng.Intn(len(inserted))]
+	}
+	return htkey, htval, probe
+}
+
+// joinOracle computes the expected per-thread payload sums under the
+// OpenMP static schedule (contiguous chunks of ceil(probes/nthreads)).
+func joinOracle(p HashJoinParams, nthreads int) []int64 {
+	_, _, probe := joinTable(p)
+	sums := make([]int64, nthreads)
+	chunk := (p.Probes + int64(nthreads) - 1) / int64(nthreads)
+	for t := 0; t < nthreads; t++ {
+		lo, hi := int64(t)*chunk, (int64(t)+1)*chunk
+		if hi > p.Probes {
+			hi = p.Probes
+		}
+		for j := lo; j < hi; j++ {
+			sums[t] += probe[j]*3 + 1 // htval of a present key is key*3+1
+		}
+	}
+	return sums
+}
+
+// HashJoin builds the probe-side hash-join workload:
+//
+//	for (j = lo; j < hi; j++) {
+//	  k = probe[j];
+//	  h = (k & mask) - 1;
+//	  do { h = (h + 1) & mask; } while (htkey[h] != k);  // linear probe
+//	  out += htval[h];
+//	}
+//	res[tid] = out;
+//
+// The table is read-shared across threads; there is no store traffic in
+// the probe loop, so the region exposes latency-bound irregular gathers
+// rather than coherence pressure.
+func HashJoin(p HashJoinParams) *Workload {
+	p = p.WithDefaults()
+	if p.Slots&(p.Slots-1) != 0 {
+		panic(fmt.Sprintf("workload: hashjoin Slots %d not a power of two", p.Slots))
+	}
+	mask := loopir.I(p.Slots - 1)
+	prog := &loopir.Program{
+		Name: "hashjoin",
+		Arrays: []loopir.Array{
+			{Name: "htkey", Kind: loopir.I64, Elems: p.Slots},
+			{Name: "htval", Kind: loopir.I64, Elems: p.Slots},
+			{Name: "probe", Kind: loopir.I64, Elems: p.Probes},
+			{Name: "res", Kind: loopir.I64, Elems: joinMaxThreads},
+		},
+		Funcs: []*loopir.Func{{
+			Name:     "join",
+			Parallel: true,
+			Body: []loopir.Stmt{
+				loopir.SetI{Name: "out", Val: loopir.I(0)},
+				loopir.For{Var: "j", Lo: loopir.V("lo"), Hi: loopir.V("hi"), Body: []loopir.Stmt{
+					loopir.SetI{Name: "k", Val: loopir.IAt("probe", loopir.V("j"))},
+					// Pre-decrement so the do-while's unconditional first
+					// advance lands on k & mask.
+					loopir.SetI{Name: "h", Val: loopir.ISub(loopir.IAnd(loopir.V("k"), mask), loopir.I(1))},
+					loopir.While{
+						Body: []loopir.Stmt{
+							loopir.SetI{Name: "h", Val: loopir.IAnd(loopir.IAdd(loopir.V("h"), loopir.I(1)), mask)},
+						},
+						Cond: loopir.Cond{Rel: loopir.NE, A: loopir.IAt("htkey", loopir.V("h")), B: loopir.V("k")},
+					},
+					loopir.SetI{Name: "out", Val: loopir.IAdd(loopir.V("out"), loopir.IAt("htval", loopir.V("h")))},
+				}},
+				loopir.IStore{Array: "res", Index: loopir.V("tid"), Val: loopir.V("out")},
+			},
+		}},
+	}
+	return &Workload{
+		Name: "hashjoin",
+		Prog: prog,
+		Setup: func(c *Ctx) error {
+			if c.Threads > joinMaxThreads {
+				return fmt.Errorf("hashjoin: %d threads exceed %d res slots", c.Threads, joinMaxThreads)
+			}
+			htkey, htval, probe := joinTable(p)
+			for i := int64(0); i < p.Slots; i++ {
+				c.WriteI64("htkey", i, htkey[i])
+				c.WriteI64("htval", i, htval[i])
+			}
+			for j, k := range probe {
+				c.WriteI64("probe", int64(j), k)
+			}
+			return nil
+		},
+		Run: func(c *Ctx) error {
+			for rep := 0; rep < p.Reps; rep++ {
+				if err := c.ParallelFor("join", p.Probes, func(tid int, rf *ia64.RegFile) {}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Verify: func(c *Ctx) error {
+			for t, want := range joinOracle(p, c.Threads) {
+				if got := c.ReadI64("res", int64(t)); got != want {
+					return fmt.Errorf("hashjoin: res[%d] = %d, want %d", t, got, want)
+				}
+			}
+			return nil
+		},
+	}
+}

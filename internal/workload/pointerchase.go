@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ia64"
+	"repro/internal/loopir"
+)
+
+// PointerChaseParams parameterize the pointer-chasing list traversal —
+// the canonical irregular workload where hardware-oblivious prefetching
+// buys nothing on the chased stream (the next address is unknowable until
+// the load retires) while the compiler still emits lfetch for the one
+// affine side-stream, giving the optimizer real slots to judge.
+//
+// Each OpenMP thread owns the list nodes whose index is congruent to its
+// id modulo the thread count and chases a seeded random cycle through
+// them, bumping a payload word per visit. Neighbouring payload words
+// belong to different threads, so a 128-byte coherence line is written by
+// up to 16 threads — false sharing that generates exactly the coherent
+// miss pressure COBRA's trigger watches for.
+type PointerChaseParams struct {
+	// Nodes is the total list length across threads (default 1<<15).
+	Nodes int64
+	// Steps is the chase length per thread per repetition (default 1<<14).
+	Steps int64
+	// Reps repeats the chase region (default 6) so the optimizer sees
+	// several judgement windows.
+	Reps int
+	// Seed drives the per-thread cycle shuffle (default 1).
+	Seed int64
+}
+
+func (p PointerChaseParams) WithDefaults() PointerChaseParams {
+	if p.Nodes == 0 {
+		p.Nodes = 1 << 15
+	}
+	if p.Steps == 0 {
+		p.Steps = 1 << 14
+	}
+	if p.Reps == 0 {
+		p.Reps = 6
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// chaseMaxThreads sizes the per-thread start/result arrays: one slot per
+// CPU the largest declarable topology carries.
+const chaseMaxThreads = 64
+
+// chaseCycles builds the per-thread chase cycles: for every thread t of
+// nthreads, a seeded shuffle of the node indices {i : i mod nthreads == t}
+// linked into one cycle. Returns next[] and the per-thread start node.
+// Pure function of (params, nthreads) — the simulated initialization and
+// the host oracle both derive from it, which is what makes the kernel
+// self-checking.
+func chaseCycles(p PointerChaseParams, nthreads int) (next []int64, start []int64) {
+	next = make([]int64, p.Nodes)
+	start = make([]int64, nthreads)
+	rng := rand.New(rand.NewSource(p.Seed))
+	for t := 0; t < nthreads; t++ {
+		var own []int64
+		for i := int64(t); i < p.Nodes; i += int64(nthreads) {
+			own = append(own, i)
+		}
+		rng.Shuffle(len(own), func(a, b int) { own[a], own[b] = own[b], own[a] })
+		for k, node := range own {
+			next[node] = own[(k+1)%len(own)]
+		}
+		start[t] = own[0]
+	}
+	return next, start
+}
+
+// chaseOracle host-executes the kernel: expected per-thread checksum and
+// the per-node visit count of one repetition.
+func chaseOracle(p PointerChaseParams, nthreads int) (sums []int64, visits []int64) {
+	next, start := chaseCycles(p, nthreads)
+	sums = make([]int64, nthreads)
+	visits = make([]int64, p.Nodes)
+	for t := 0; t < nthreads; t++ {
+		cur := start[t]
+		var sum int64
+		for s := int64(0); s < p.Steps; s++ {
+			cur = next[cur]
+			visits[cur]++
+			sum += cur + weightAt(s)
+		}
+		sums[t] = sum
+	}
+	return sums, visits
+}
+
+// weightAt is the affine side-stream's element value — shared between the
+// simulated initialization and the host oracle.
+func weightAt(s int64) int64 { return (s*7 + 3) % 101 }
+
+// PointerChase builds the irregular list-traversal workload:
+//
+//	#pragma omp parallel (one chase per thread)
+//	for (s = 0; s < steps; s++) {
+//	  cur = next[cur];        // dependent load — unprefetchable
+//	  pay[cur]++;             // falsely-shared payload write
+//	  sum += cur + weight[s]; // affine stream — the lfetch slots
+//	}
+//	res[tid] = sum;
+func PointerChase(p PointerChaseParams) *Workload {
+	p = p.WithDefaults()
+	prog := &loopir.Program{
+		Name: "pointerchase",
+		Arrays: []loopir.Array{
+			{Name: "next", Kind: loopir.I64, Elems: p.Nodes},
+			{Name: "pay", Kind: loopir.I64, Elems: p.Nodes},
+			{Name: "weight", Kind: loopir.I64, Elems: p.Steps},
+			{Name: "start", Kind: loopir.I64, Elems: chaseMaxThreads},
+			{Name: "res", Kind: loopir.I64, Elems: chaseMaxThreads},
+		},
+		Funcs: []*loopir.Func{{
+			Name:     "chase",
+			Parallel: true,
+			Body: []loopir.Stmt{
+				// trip == nthreads, so each thread's chunk is exactly its
+				// own id; the outer For keeps that robust for any chunking.
+				loopir.For{Var: "t", Lo: loopir.V("lo"), Hi: loopir.V("hi"), Body: []loopir.Stmt{
+					loopir.SetI{Name: "cur", Val: loopir.IAt("start", loopir.V("t"))},
+					loopir.SetI{Name: "sum", Val: loopir.I(0)},
+					loopir.For{Var: "s", Lo: loopir.I(0), Hi: loopir.I(p.Steps), Hint: loopir.HintCounted, Body: []loopir.Stmt{
+						loopir.SetI{Name: "cur", Val: loopir.IAt("next", loopir.V("cur"))},
+						loopir.IStore{Array: "pay", Index: loopir.V("cur"),
+							Val: loopir.IAdd(loopir.IAt("pay", loopir.V("cur")), loopir.I(1))},
+						loopir.SetI{Name: "sum",
+							Val: loopir.IAdd(loopir.V("sum"),
+								loopir.IAdd(loopir.V("cur"), loopir.IAt("weight", loopir.V("s"))))},
+					}},
+					loopir.IStore{Array: "res", Index: loopir.V("t"), Val: loopir.V("sum")},
+				}},
+			},
+		}},
+	}
+	return &Workload{
+		Name: "pointerchase",
+		Prog: prog,
+		Setup: func(c *Ctx) error {
+			if c.Threads > chaseMaxThreads {
+				return fmt.Errorf("pointerchase: %d threads exceed %d start/res slots", c.Threads, chaseMaxThreads)
+			}
+			next, start := chaseCycles(p, c.Threads)
+			for i, v := range next {
+				c.WriteI64("next", int64(i), v)
+			}
+			for t, v := range start {
+				c.WriteI64("start", int64(t), v)
+			}
+			for s := int64(0); s < p.Steps; s++ {
+				c.WriteI64("weight", s, weightAt(s))
+			}
+			// pay starts zeroed (fresh memory reads as zero).
+			return nil
+		},
+		Run: func(c *Ctx) error {
+			for rep := 0; rep < p.Reps; rep++ {
+				if err := c.ParallelFor("chase", int64(c.Threads), func(tid int, rf *ia64.RegFile) {}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Verify: func(c *Ctx) error {
+			sums, visits := chaseOracle(p, c.Threads)
+			for t, want := range sums {
+				if got := c.ReadI64("res", int64(t)); got != want {
+					return fmt.Errorf("pointerchase: res[%d] = %d, want %d", t, got, want)
+				}
+			}
+			var wantSum, gotSum int64
+			for i := int64(0); i < p.Nodes; i++ {
+				wantSum += int64(p.Reps) * visits[i] * (i + 1)
+				gotSum += c.ReadI64("pay", i) * (i + 1)
+			}
+			if gotSum != wantSum {
+				return fmt.Errorf("pointerchase: pay checksum %d, want %d", gotSum, wantSum)
+			}
+			return nil
+		},
+	}
+}

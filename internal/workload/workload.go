@@ -91,6 +91,10 @@ type BuildConfig struct {
 	Machine  machine.Config
 	Threads  int
 	Compiler compiler.Options
+	// Affinity pins OpenMP thread i to CPU Affinity[i] (nil = identity).
+	// Placement and timing both depend on where threads run, so the
+	// field is hashed; omitempty keeps legacy content hashes stable.
+	Affinity []int `json:",omitempty"`
 	// Cobra, when non-nil, attaches a COBRA runtime with this config.
 	Cobra *cobra.Config
 	// Obs, when non-nil, threads an observability sink through the whole
@@ -110,6 +114,21 @@ func SMPConfig(threads int) BuildConfig {
 func NUMAConfig(threads int) BuildConfig {
 	mc := machine.DefaultConfig(threads)
 	mc.Mem = mem.AltixNUMA(threads)
+	return BuildConfig{Machine: mc, Threads: threads, Compiler: compiler.DefaultOptions()}
+}
+
+// NUMANodesConfig is an Altix-like build configuration over an explicit —
+// possibly asymmetric — node list. The latency model is AltixNUMA's; only
+// the shape (and optionally per-node capacity) differs. threads may be
+// fewer than the topology's CPUs (idle processors still snoop).
+func NUMANodesConfig(threads int, nodes []mem.NodeConfig) BuildConfig {
+	total := 0
+	for _, n := range nodes {
+		total += n.CPUs
+	}
+	mc := machine.DefaultConfig(total)
+	mc.Mem = mem.AltixNUMA(total)
+	mc.Mem.Nodes = nodes
 	return BuildConfig{Machine: mc, Threads: threads, Compiler: compiler.DefaultOptions()}
 }
 
@@ -145,6 +164,11 @@ func assemble(w *Workload, bc BuildConfig, m *machine.Machine, res *compiler.Res
 	rt, err := openmp.NewRuntime(m, bc.Threads)
 	if err != nil {
 		return nil, err
+	}
+	if bc.Affinity != nil {
+		if err := rt.SetAffinity(bc.Affinity); err != nil {
+			return nil, err
+		}
 	}
 	inst := &Instance{
 		W:   w,
